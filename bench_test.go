@@ -1,0 +1,257 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation, plus micro-benchmarks for the load-bearing
+// primitives (route computation, controller slots, header codec, MAC
+// events). The figure benches run reduced instance counts per iteration —
+// the cmd/ binaries regenerate the full figures; these benches make the
+// regeneration cost measurable and keep the harness exercised by
+// `go test -bench`.
+package empower
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/node"
+	"repro/internal/routing"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// benchSim is a reduced Monte-Carlo configuration for per-iteration runs.
+var benchSim = experiments.SimConfig{Runs: 8, Seed: 42, Core: core.Options{Slots: 1200}}
+
+// benchTestbed is a reduced emulation configuration.
+var benchTestbed = experiments.TestbedConfig{Seed: 42, Duration: 10, Pairs: 3, Flows: 2, Repeats: 1}
+
+func BenchmarkFigure4Residential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure4(experiments.TopoResidential, benchSim)
+		if len(r.Samples[core.SchemeEMPoWER]) == 0 {
+			b.Fatal("no samples")
+		}
+	}
+}
+
+func BenchmarkFigure4Enterprise(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure4(experiments.TopoEnterprise, benchSim)
+	}
+}
+
+func BenchmarkFigure5WorstFlows(b *testing.B) {
+	f4 := experiments.Figure4(experiments.TopoResidential, benchSim)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure5(f4)
+	}
+}
+
+func BenchmarkFigure6OptimalRatios(b *testing.B) {
+	cfg := benchSim
+	cfg.Runs = 4
+	for i := 0; i < b.N; i++ {
+		experiments.Figure6(experiments.TopoResidential, cfg)
+	}
+}
+
+func BenchmarkFigure7Utility(b *testing.B) {
+	cfg := benchSim
+	cfg.Runs = 3
+	for i := 0; i < b.N; i++ {
+		experiments.Figure7(experiments.TopoResidential, cfg)
+	}
+}
+
+func BenchmarkConvergenceComparison(b *testing.B) {
+	cfg := benchSim
+	cfg.Runs = 2
+	for i := 0; i < b.N; i++ {
+		experiments.Convergence(experiments.TopoResidential, cfg)
+	}
+}
+
+func BenchmarkFigure9TwoFlowTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure9(benchTestbed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure10TestbedPairs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure10(benchTestbed)
+	}
+}
+
+func BenchmarkFigure11FlowBars(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure11(benchTestbed)
+	}
+}
+
+func BenchmarkTable1Downloads(b *testing.B) {
+	cfg := benchTestbed
+	for i := 0; i < b.N; i++ {
+		experiments.Table1(cfg)
+	}
+}
+
+func BenchmarkFigure12TCPTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure12(benchTestbed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure13TCPBars(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure13(benchTestbed)
+	}
+}
+
+// --- micro-benchmarks ---
+
+// BenchmarkRoutingN5 measures the full multipath route computation on a
+// residential instance with n = 5, the paper's ~50 ms operation (§3.2).
+func BenchmarkRoutingN5(b *testing.B) {
+	inst := topology.Residential(stats.NewRand(1), topology.Config{})
+	net := inst.Build(topology.ViewHybrid)
+	rng := stats.NewRand(2)
+	src, dst := inst.RandomFlow(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		routing.Multipath(net.Network, src, dst, routing.DefaultConfig())
+	}
+}
+
+// BenchmarkAblationNShortest sweeps n (the n-shortest parameter) to show
+// the cost/benefit knob of §3.2.
+func BenchmarkAblationNShortest(b *testing.B) {
+	inst := topology.Residential(stats.NewRand(1), topology.Config{})
+	net := inst.Build(topology.ViewHybrid)
+	rng := stats.NewRand(2)
+	src, dst := inst.RandomFlow(rng)
+	for _, n := range []int{1, 2, 5, 8} {
+		cfg := routing.DefaultConfig()
+		cfg.N = n
+		b.Run(benchName("n", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				routing.Multipath(net.Network, src, dst, cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCSC compares route computation with and without the
+// channel-switching cost.
+func BenchmarkAblationCSC(b *testing.B) {
+	inst := topology.Residential(stats.NewRand(3), topology.Config{})
+	net := inst.Build(topology.ViewHybrid)
+	rng := stats.NewRand(4)
+	src, dst := inst.RandomFlow(rng)
+	for _, csc := range []bool{true, false} {
+		cfg := routing.DefaultConfig()
+		cfg.UseCSC = csc
+		name := "csc-on"
+		if !csc {
+			name = "csc-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				routing.SinglePath(net.Network, src, dst, cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkControllerSlot measures one congestion-controller time slot on
+// an enterprise instance with three multipath flows.
+func BenchmarkControllerSlot(b *testing.B) {
+	inst := topology.Enterprise(stats.NewRand(5), topology.Config{})
+	rng := stats.NewRand(6)
+	pairs := make([][2]NodeID, 3)
+	for i := range pairs {
+		s, d := inst.RandomFlow(rng)
+		pairs[i] = [2]NodeID{s, d}
+	}
+	net := inst.Build(topology.ViewHybrid)
+	var routes []ControllerRoute
+	for f, pr := range pairs {
+		for _, p := range core.RoutesFor(core.SchemeEMPoWER, net.Network, pr[0], pr[1]) {
+			routes = append(routes, ControllerRoute{Links: p, Flow: f})
+		}
+	}
+	if len(routes) == 0 {
+		b.Skip("no connected flows on this seed")
+	}
+	ctrl, err := NewController(net.Network, routes, ControllerOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctrl.Step()
+	}
+}
+
+// BenchmarkHeaderCodec measures the 20-byte layer-2.5 header round trip.
+func BenchmarkHeaderCodec(b *testing.B) {
+	h := wire.Header{QR: 1.25, Seq: 7}
+	h.SetRoute([]wire.InterfaceID{1, 2, 3})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := h.MarshalBinary()
+		var g wire.Header
+		if err := g.UnmarshalBinary(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDataFrameCodec measures the full data-frame round trip.
+func BenchmarkDataFrameCodec(b *testing.B) {
+	f := wire.DataFrame{Src: 1, Dst: 13, FlowID: 3, PayloadLen: 1500}
+	f.Header.SetRoute([]wire.InterfaceID{4, 5})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := f.MarshalBinary()
+		var g wire.DataFrame
+		if err := g.UnmarshalBinary(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEmulationSecond measures one emulated second of a saturated
+// multipath flow on the Figure 1 network (MAC events + agents + acks).
+func BenchmarkEmulationSecond(b *testing.B) {
+	builder := NewNetworkBuilder(nil)
+	a := builder.AddNode("a", 0, 0, TechPLC, TechWiFi)
+	m := builder.AddNode("b", 10, 0, TechPLC, TechWiFi)
+	c := builder.AddNode("c", 20, 0, TechWiFi)
+	builder.AddDuplex(a, m, TechPLC, 10)
+	builder.AddDuplex(a, m, TechWiFi, 15)
+	builder.AddDuplex(m, c, TechWiFi, 30)
+	net := builder.Build()
+	em := NewEmulation(net, EmulationConfig{}, 7)
+	if _, err := em.AddFlow(node.FlowSpec{
+		Src: a, Dst: c,
+		Routes: FindRoutes(net, a, c, DefaultRoutingConfig()),
+		Kind:   TrafficSaturated,
+	}, 0); err != nil {
+		b.Fatal(err)
+	}
+	em.Run(5) // warm up past the ramp
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		em.Run(5 + float64(i+1))
+	}
+}
+
+func benchName(prefix string, n int) string {
+	return prefix + "=" + string(rune('0'+n))
+}

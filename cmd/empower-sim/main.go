@@ -1,0 +1,126 @@
+// Command empower-sim regenerates the simulation figures of §5 (Figures
+// 4-7 and the convergence comparison) over randomly generated residential
+// and enterprise topologies.
+//
+// Usage:
+//
+//	empower-sim -fig 4 -topo residential -runs 1000
+//	empower-sim -fig all -runs 200
+//	empower-sim -fig convergence
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, convergence, all")
+	topo := flag.String("topo", "both", "topology: residential, enterprise, both")
+	runs := flag.Int("runs", 200, "random instances per figure (paper: 1000)")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	slots := flag.Int("slots", 0, "controller slots per run (default 4000)")
+	out := flag.String("out", "", "directory for plottable TSV data files (optional)")
+	flag.Parse()
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "empower-sim:", err)
+			os.Exit(1)
+		}
+	}
+
+	cfg := experiments.SimConfig{Runs: *runs, Seed: *seed, Core: core.Options{Slots: *slots}}
+
+	var topos []experiments.Topo
+	switch strings.ToLower(*topo) {
+	case "residential":
+		topos = []experiments.Topo{experiments.TopoResidential}
+	case "enterprise":
+		topos = []experiments.Topo{experiments.TopoEnterprise}
+	case "both":
+		topos = []experiments.Topo{experiments.TopoResidential, experiments.TopoEnterprise}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -topo %q\n", *topo)
+		os.Exit(2)
+	}
+
+	want := func(f string) bool { return *fig == "all" || *fig == f }
+
+	for _, t := range topos {
+		if want("4") || want("5") {
+			f4 := experiments.Figure4(t, cfg)
+			if want("4") {
+				fmt.Println(f4.Render())
+				for scheme, xs := range f4.Samples {
+					dumpCDF(*out, fmt.Sprintf("fig4-%s-%s.tsv", t, scheme), xs)
+				}
+			}
+			if want("5") {
+				f5 := experiments.Figure5(f4)
+				fmt.Println(f5.Render())
+				dumpCDF(*out, fmt.Sprintf("fig5-%s.tsv", t), f5.Ratios)
+			}
+		}
+		if want("6") {
+			f6 := experiments.Figure6(t, cfg)
+			fmt.Println(f6.Render())
+			for name, xs := range f6.Ratios {
+				dumpCDF(*out, fmt.Sprintf("fig6-%s-%s.tsv", t, slug(name)), xs)
+			}
+		}
+		if want("7") {
+			f7 := experiments.Figure7(t, cfg)
+			fmt.Println(f7.Render())
+			for name, xs := range f7.Ratios {
+				dumpCDF(*out, fmt.Sprintf("fig7-%s-%s.tsv", t, slug(name)), xs)
+			}
+		}
+		if want("convergence") {
+			fmt.Println(experiments.Convergence(t, cfg).Render())
+		}
+	}
+	if *fig != "all" && !oneOf(*fig, "4", "5", "6", "7", "convergence") {
+		fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+// dumpCDF writes a sample set's CDF to dir/name when -out is set.
+func dumpCDF(dir, name string, xs []float64) {
+	if dir == "" || len(xs) == 0 {
+		return
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "empower-sim:", err)
+		return
+	}
+	defer f.Close()
+	if _, err := trace.WriteCDF(f, xs, 200); err != nil {
+		fmt.Fprintln(os.Stderr, "empower-sim:", err)
+	}
+}
+
+// slug makes a scheme name filesystem-friendly.
+func slug(s string) string {
+	s = strings.ToLower(s)
+	s = strings.ReplaceAll(s, " ", "-")
+	return strings.ReplaceAll(s, "/", "")
+}
+
+func oneOf(s string, opts ...string) bool {
+	for _, o := range opts {
+		if s == o {
+			return true
+		}
+	}
+	return false
+}

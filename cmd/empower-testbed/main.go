@@ -1,0 +1,78 @@
+// Command empower-testbed regenerates the testbed-emulation results of §6
+// (Figures 9-13 and Table 1) on the 22-node emulated office floor.
+//
+// Usage:
+//
+//	empower-testbed -fig 9
+//	empower-testbed -fig 10 -pairs 50 -duration 200
+//	empower-testbed -table 1 -repeats 10
+//	empower-testbed -fig all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate: 9, 10, 11, 12, 13, all")
+	table := flag.Int("table", 0, "table to regenerate: 1")
+	duration := flag.Float64("duration", 60, "emulated seconds per run (paper runs are 1000 s)")
+	pairs := flag.Int("pairs", 20, "random station pairs for figure 10 (paper: 50)")
+	flows := flag.Int("flows", 10, "flows for figures 11 and 13")
+	repeats := flag.Int("repeats", 5, "repetitions for table 1 (paper: 40 tiny/short, 10 long/conc)")
+	seed := flag.Int64("seed", 1, "base RNG seed (fixes the channel realization)")
+	delta := flag.Float64("delta", 0.05, "constraint margin δ")
+	flag.Parse()
+
+	cfg := experiments.TestbedConfig{
+		Seed: *seed, Duration: *duration, Pairs: *pairs,
+		Flows: *flows, Repeats: *repeats, Delta: *delta,
+	}
+
+	want := func(f string) bool { return *fig == "all" || *fig == f }
+	ran := false
+
+	if want("9") {
+		res, err := experiments.Figure9(cfg)
+		fail(err)
+		fmt.Println(res.Render())
+		ran = true
+	}
+	if want("10") {
+		fmt.Println(experiments.Figure10(cfg).Render())
+		ran = true
+	}
+	if want("11") {
+		fmt.Println(experiments.Figure11(cfg).Render())
+		ran = true
+	}
+	if *table == 1 || *fig == "all" {
+		fmt.Println(experiments.Table1(cfg).Render())
+		ran = true
+	}
+	if want("12") {
+		res, err := experiments.Figure12(cfg)
+		fail(err)
+		fmt.Println(res.Render())
+		ran = true
+	}
+	if want("13") {
+		fmt.Println(experiments.Figure13(cfg).Render())
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "empower-testbed:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,109 @@
+package empower
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// figure1Net builds the paper's running example through the public API.
+func figure1Net() (*Network, NodeID, NodeID) {
+	b := NewNetworkBuilder(nil)
+	a := b.AddNode("gateway", 0, 0, TechPLC, TechWiFi)
+	ext := b.AddNode("extender", 10, 0, TechPLC, TechWiFi)
+	c := b.AddNode("laptop", 20, 0, TechWiFi)
+	b.AddDuplex(a, ext, TechPLC, 10)
+	b.AddDuplex(a, ext, TechWiFi, 15)
+	b.AddDuplex(ext, c, TechWiFi, 30)
+	return b.Build(), a, c
+}
+
+// TestFigure1Scenario reproduces the paper's Figure 1 example end to end
+// through the public API: the multipath combination carries 10 Mbps on
+// the hybrid route plus 6.67 Mbps on the two-hop WiFi route.
+func TestFigure1Scenario(t *testing.T) {
+	net, a, c := figure1Net()
+	comb := FindCombination(net, a, c, DefaultRoutingConfig())
+	if math.Abs(comb.Total-50.0/3) > 1e-6 {
+		t.Fatalf("combination total = %v, want 16.667", comb.Total)
+	}
+	if len(comb.Paths) != 2 {
+		t.Fatalf("combination paths = %d, want 2", len(comb.Paths))
+	}
+	// The controller converges to the same split.
+	var routes []ControllerRoute
+	for _, p := range comb.Paths {
+		routes = append(routes, ControllerRoute{Links: p, Flow: 0})
+	}
+	ctrl, err := NewController(net, routes, ControllerOptions{Alpha: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Run(6000)
+	if got := ctrl.FlowRate(0); math.Abs(got-50.0/3) > 1.2 {
+		t.Errorf("controller total = %v, want ~16.67", got)
+	}
+	// And the centralized optimum agrees.
+	opt, err := OptimalRates(net, [][2]NodeID{{a, c}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(opt[0]-50.0/3) > 0.5 {
+		t.Errorf("optimal = %v, want 16.67", opt[0])
+	}
+}
+
+func TestPublicSinglePathAndRate(t *testing.T) {
+	net, a, c := figure1Net()
+	p := FindSinglePath(net, a, c, DefaultRoutingConfig())
+	if p == nil {
+		t.Fatal("no path")
+	}
+	if r := PathRate(net, p); math.Abs(r-10) > 1e-9 {
+		t.Errorf("R(P) = %v, want 10", r)
+	}
+}
+
+func TestPublicEmulation(t *testing.T) {
+	net, a, c := figure1Net()
+	em := NewEmulation(net, EmulationConfig{}, 1)
+	fl, err := em.AddFlow(FlowSpec{
+		Src: a, Dst: c,
+		Routes: FindRoutes(net, a, c, DefaultRoutingConfig()),
+		Kind:   TrafficSaturated,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em.Run(30)
+	if fl.TotalRate() < 10 {
+		t.Errorf("emulated rate %.2f, want > 10 (multipath gain)", fl.TotalRate())
+	}
+}
+
+func TestPublicTopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if n := len(Residential(rng, TopologyConfig{}).Nodes); n != 10 {
+		t.Errorf("residential nodes = %d", n)
+	}
+	if n := len(Enterprise(rng, TopologyConfig{}).Nodes); n != 20 {
+		t.Errorf("enterprise nodes = %d", n)
+	}
+	inst := Testbed(rng, TopologyConfig{})
+	if n := len(inst.Nodes); n != 22 {
+		t.Errorf("testbed nodes = %d", n)
+	}
+	net := inst.Build(ViewHybrid)
+	if net.NumLinks() == 0 {
+		t.Error("testbed has no links")
+	}
+}
+
+func TestConservativeBelowOptimal(t *testing.T) {
+	net, a, c := figure1Net()
+	opt, _ := OptimalRates(net, [][2]NodeID{{a, c}})
+	cons, _ := ConservativeOptimalRates(net, [][2]NodeID{{a, c}})
+	if cons[0] > opt[0]+0.5 {
+		t.Errorf("conservative %v exceeds optimal %v", cons[0], opt[0])
+	}
+}

@@ -1,0 +1,445 @@
+package congestion
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Route is a preselected path available to a flow. The congestion
+// controller decides the rate x_r injected on each route; routing (package
+// routing) decides which routes exist, keeping the two concerns separate as
+// in the paper (Figure 2).
+type Route struct {
+	Links graph.Path
+	// Flow is the index of the flow (source-destination pair) this route
+	// belongs to. Several routes may share a flow.
+	Flow int
+}
+
+// Mode selects the controller variant.
+type Mode int
+
+const (
+	// ModeAuto uses the single-path controller when every flow has
+	// exactly one route and the multipath controller otherwise.
+	ModeAuto Mode = iota
+	// ModeSinglePath forces the §4.2 controller (eqs. 7-10).
+	ModeSinglePath
+	// ModeMultipath forces the §4.3 proximal controller.
+	ModeMultipath
+)
+
+// Options configures a Controller.
+type Options struct {
+	// Alpha is the fixed step size α. The paper's implementation starts at
+	// 0.02 and adapts it (see AlphaTuner); the simulations use a fixed
+	// value. Defaults to 0.02.
+	Alpha float64
+	// Delta is the constraint margin δ ∈ [0,1] of constraint (3);
+	// airtime demand in each interference domain is kept below 1−δ.
+	Delta float64
+	// Utilities maps each flow to its utility; flows without an entry use
+	// proportional fairness log(1+x).
+	Utilities map[int]Utility
+	// Mode selects the controller variant (default ModeAuto).
+	Mode Mode
+	// DisableRateCap removes the per-route cap at the route's bottleneck
+	// capacity. The cap only suppresses the unbounded U'^{-1}(0) transient
+	// at start-up and does not bind at the optimum.
+	DisableRateCap bool
+	// InitialRates seeds the per-route rates x_r[0] (nil = start from
+	// zero). EMPoWER sources start near the routing procedure's assumed
+	// loading R(P), which is what makes convergence a matter of tens of
+	// slots rather than a cold-start ramp.
+	InitialRates []float64
+	// FairShareFloor is an extension beyond the paper (its §4.3 leaves
+	// fair handling of external interference as future work): when
+	// external stations saturate a medium, the stock controller backs
+	// off to the leftover airtime, possibly to zero. With a floor
+	// F ∈ (0,1), each domain's budget becomes
+	//
+	//	budget = max(1−δ−y_ext, F·(1−δ)),
+	//
+	// guaranteeing EMPoWER at least the fraction F of the medium — which
+	// persistent CSMA contention can actually claim against a saturating
+	// external station. Zero disables the extension (paper behaviour).
+	FairShareFloor float64
+	// UtilityScale is the gain S applied to the (U'_f − q_r) term of the
+	// proximal multipath update. It leaves the fixed point unchanged
+	// (U'_f = q_r on active routes) but moves the rates at a practical
+	// Mbps-per-slot speed: with rates denominated in Mbps the marginal
+	// utility of log(1+x) near 20 Mbps is ~0.05, and an unscaled update
+	// would crawl at α·U' per slot. Defaults to 50, which yields
+	// convergence in tens-to-hundreds of 100 ms slots as the paper
+	// reports. Set to 1 for the textbook dynamics. The single-path
+	// controller does not use it.
+	UtilityScale float64
+}
+
+// Controller is the discrete-time congestion controller. Each Step invokes
+// one time slot t → t+1 (100 ms in the paper's implementation): it updates
+// the dual variables γ_l (congestion prices per link), the route prices
+// q_r, and the route rates x_r.
+type Controller struct {
+	net    *graph.Network
+	routes []Route
+	opts   Options
+
+	flows      int
+	flowOf     []int     // route -> flow
+	util       []Utility // per flow
+	flowRoutes [][]int   // flow -> route indices
+
+	// linkRoutes[l] lists the routes traversing link l.
+	linkRoutes [][]int
+	// routeCap[r] is the bottleneck capacity of route r (rate cap).
+	routeCap []float64
+
+	single bool
+
+	// State.
+	x     []float64 // per-route rates
+	xbar  []float64 // proximal auxiliary variables
+	gamma []float64 // per-link dual variables
+	load  []float64 // per-link traffic Σ_{r∋l} x_r (scratch)
+	y     []float64 // per-link airtime demand in I_l (scratch)
+	q     []float64 // per-route prices
+
+	// ExternalLoad can be set to per-link rates (Mbps) injected by
+	// non-EMPoWER stations; the controller measures and respects them
+	// (paper §4.3). Indexed by LinkID; nil means no external traffic.
+	ExternalLoad []float64
+
+	t int
+}
+
+// New creates a controller for the given network and preselected routes.
+func New(net *graph.Network, routes []Route, opts Options) (*Controller, error) {
+	if opts.Alpha == 0 {
+		opts.Alpha = 0.02
+	}
+	if opts.UtilityScale == 0 {
+		opts.UtilityScale = 50
+	}
+	if opts.UtilityScale < 0 {
+		return nil, fmt.Errorf("congestion: utility scale %v must be positive", opts.UtilityScale)
+	}
+	if opts.Alpha < 0 || opts.Alpha > 1 {
+		return nil, fmt.Errorf("congestion: alpha %v out of (0,1]", opts.Alpha)
+	}
+	if opts.Delta < 0 || opts.Delta >= 1 {
+		return nil, fmt.Errorf("congestion: delta %v out of [0,1)", opts.Delta)
+	}
+	if opts.FairShareFloor < 0 || opts.FairShareFloor >= 1 {
+		return nil, fmt.Errorf("congestion: fair-share floor %v out of [0,1)", opts.FairShareFloor)
+	}
+	c := &Controller{net: net, routes: routes, opts: opts}
+	maxFlow := -1
+	for i, r := range routes {
+		if len(r.Links) == 0 {
+			return nil, fmt.Errorf("congestion: route %d is empty", i)
+		}
+		if r.Flow < 0 {
+			return nil, fmt.Errorf("congestion: route %d has negative flow", i)
+		}
+		if r.Flow > maxFlow {
+			maxFlow = r.Flow
+		}
+	}
+	c.flows = maxFlow + 1
+	c.flowOf = make([]int, len(routes))
+	c.flowRoutes = make([][]int, c.flows)
+	c.routeCap = make([]float64, len(routes))
+	c.linkRoutes = make([][]int, net.NumLinks())
+	for i, r := range routes {
+		c.flowOf[i] = r.Flow
+		c.flowRoutes[r.Flow] = append(c.flowRoutes[r.Flow], i)
+		cap := math.Inf(1)
+		for _, l := range r.Links {
+			c.linkRoutes[l] = append(c.linkRoutes[l], i)
+			if cl := net.Link(l).Capacity; cl < cap {
+				cap = cl
+			}
+		}
+		c.routeCap[i] = cap
+	}
+	c.util = make([]Utility, c.flows)
+	for f := 0; f < c.flows; f++ {
+		if u, ok := opts.Utilities[f]; ok && u != nil {
+			c.util[f] = u
+		} else {
+			c.util[f] = ProportionalFairness{}
+		}
+	}
+	c.single = true
+	for f := 0; f < c.flows; f++ {
+		if len(c.flowRoutes[f]) != 1 {
+			c.single = false
+		}
+	}
+	switch opts.Mode {
+	case ModeSinglePath:
+		c.single = true
+	case ModeMultipath:
+		c.single = false
+	}
+	c.x = make([]float64, len(routes))
+	c.xbar = make([]float64, len(routes))
+	if opts.InitialRates != nil {
+		for i := range c.x {
+			if i < len(opts.InitialRates) && opts.InitialRates[i] > 0 {
+				c.x[i] = opts.InitialRates[i]
+				c.xbar[i] = opts.InitialRates[i]
+			}
+		}
+	}
+	c.gamma = make([]float64, net.NumLinks())
+	c.load = make([]float64, net.NumLinks())
+	c.y = make([]float64, net.NumLinks())
+	c.q = make([]float64, len(routes))
+	return c, nil
+}
+
+// NumRoutes returns the number of routes under control.
+func (c *Controller) NumRoutes() int { return len(c.routes) }
+
+// NumFlows returns the number of flows.
+func (c *Controller) NumFlows() int { return c.flows }
+
+// Rates returns the current per-route rate vector x (Mbps). The returned
+// slice is owned by the controller; copy it to retain it across steps.
+func (c *Controller) Rates() []float64 { return c.x }
+
+// FlowRate returns x_f = Σ_{r∈f} x_r for flow f.
+func (c *Controller) FlowRate(f int) float64 {
+	var s float64
+	for _, r := range c.flowRoutes[f] {
+		s += c.x[r]
+	}
+	return s
+}
+
+// FlowRates returns the per-flow total rates.
+func (c *Controller) FlowRates() []float64 {
+	out := make([]float64, c.flows)
+	for f := range out {
+		out[f] = c.FlowRate(f)
+	}
+	return out
+}
+
+// Utility returns the aggregate network utility Σ_f U_f(x_f) at the
+// current rates.
+func (c *Controller) Utility() float64 {
+	var s float64
+	for f := 0; f < c.flows; f++ {
+		s += c.util[f].Value(c.FlowRate(f))
+	}
+	return s
+}
+
+// Price returns the current route price q_r.
+func (c *Controller) Price(r int) float64 { return c.q[r] }
+
+// Gamma returns the dual variable of link l.
+func (c *Controller) Gamma(l graph.LinkID) float64 { return c.gamma[l] }
+
+// SetAlpha changes the step size; used by AlphaTuner.
+func (c *Controller) SetAlpha(a float64) { c.opts.Alpha = a }
+
+// Alpha returns the current step size.
+func (c *Controller) Alpha() float64 { return c.opts.Alpha }
+
+// SetRate overrides a route rate (used to model non-controlled baselines
+// and for tests).
+func (c *Controller) SetRate(r int, x float64) { c.x[r] = x }
+
+// Step advances the controller by one time slot.
+func (c *Controller) Step() {
+	alpha := c.opts.Alpha
+	limit := 1 - c.opts.Delta
+
+	// Per-link traffic loads (eq. 7 inner sum): own traffic only; the
+	// external load enters the airtime sums separately so the fair-share
+	// extension can distinguish the two.
+	for l := range c.load {
+		c.load[l] = 0
+	}
+	for i, r := range c.routes {
+		for _, l := range r.Links {
+			c.load[l] += c.x[i]
+		}
+	}
+
+	// y_l[t] = Σ_{l'∈I_l} d_{l'} · load_{l'}  (eq. 7), split into own and
+	// external airtime.
+	for l := 0; l < c.net.NumLinks(); l++ {
+		var yOwn, yExt float64
+		for _, lp := range c.net.Interference(graph.LinkID(l)) {
+			link := c.net.Link(lp)
+			if link.Capacity <= 0 {
+				continue
+			}
+			if c.load[lp] > 0 {
+				yOwn += c.load[lp] / link.Capacity
+			}
+			if c.ExternalLoad != nil && c.ExternalLoad[lp] > 0 {
+				yExt += c.ExternalLoad[lp] / link.Capacity
+			}
+		}
+		// Effective budget for own traffic in this domain.
+		budget := limit - yExt
+		if f := c.opts.FairShareFloor; f > 0 && budget < f*limit {
+			budget = f * limit
+		}
+		c.y[l] = yOwn
+		// γ_l[t+1] = [γ_l[t] + α(y_own − budget)]+  (eq. 8; with no
+		// external traffic and no floor this is exactly the paper's
+		// y_l − (1−δ)).
+		g := c.gamma[l] + alpha*(yOwn-budget)
+		if g < 0 {
+			g = 0
+		}
+		c.gamma[l] = g
+	}
+
+	// q_r[t] = Σ_{l∈r} d_l Σ_{i∈I_l} γ_i  (eq. 9)
+	for i, r := range c.routes {
+		var q float64
+		for _, l := range r.Links {
+			link := c.net.Link(l)
+			if link.Capacity <= 0 {
+				q = math.Inf(1)
+				break
+			}
+			var gsum float64
+			for _, il := range c.net.Interference(l) {
+				gsum += c.gamma[il]
+			}
+			q += link.D() * gsum
+		}
+		c.q[i] = q
+	}
+
+	if c.single {
+		// x_r[t+1] = U'^{-1}(q_r[t])  (eq. 10), damped: the pure best
+		// response switches discontinuously between the rate cap and 0
+		// around q = U'(0) and saw-tooths with a fixed dual step, so the
+		// implementation relaxes toward it (same fixed point).
+		const beta = 0.3
+		for i := range c.routes {
+			x := c.capRate(i, c.util[c.flowOf[i]].PrimeInv(c.q[i]))
+			c.x[i] = (1-beta)*c.x[i] + beta*x
+		}
+	} else {
+		// Proximal multipath update (§4.3). The term U'_f − q_r is scaled
+		// by S (Options.UtilityScale): this is the proximal controller for
+		// the equivalently-maximized objective Σ S·U_f − S/2 Σ (x−x̄)²
+		// expressed in normalized prices q/S, and it moves the rates at a
+		// practical Mbps-per-slot speed. The fixed point U'_f(x_f) = q_r
+		// for active routes is unchanged.
+		scale := c.opts.UtilityScale
+		newX := make([]float64, len(c.x))
+		for i := range c.routes {
+			f := c.flowOf[i]
+			inner := c.xbar[i] + scale*(c.util[f].Prime(c.FlowRate(f))-c.q[i])
+			if inner < 0 {
+				inner = 0
+			}
+			nx := (1-alpha)*c.x[i] + alpha*inner
+			newX[i] = c.capRate(i, nx)
+		}
+		for i := range c.xbar {
+			c.xbar[i] = (1-alpha)*c.xbar[i] + alpha*c.x[i]
+		}
+		copy(c.x, newX)
+	}
+	c.t++
+}
+
+func (c *Controller) capRate(i int, x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if !c.opts.DisableRateCap && x > c.routeCap[i] {
+		return c.routeCap[i]
+	}
+	if math.IsInf(x, 1) {
+		return c.routeCap[i]
+	}
+	return x
+}
+
+// Run advances n slots and returns the trajectory of per-flow total rates:
+// out[t][f] is flow f's rate after slot t.
+func (c *Controller) Run(n int) [][]float64 {
+	out := make([][]float64, n)
+	for t := 0; t < n; t++ {
+		c.Step()
+		out[t] = c.FlowRates()
+	}
+	return out
+}
+
+// MaxAirtimeViolation returns max_l (y_l − 1): how much the airtime
+// constraint (2) is exceeded at the current rates (≤ 0 when feasible).
+// It recomputes loads from the current rates.
+func (c *Controller) MaxAirtimeViolation() float64 {
+	for l := range c.load {
+		c.load[l] = 0
+	}
+	for i, r := range c.routes {
+		for _, l := range r.Links {
+			c.load[l] += c.x[i]
+		}
+	}
+	if c.ExternalLoad != nil {
+		for l := range c.load {
+			c.load[l] += c.ExternalLoad[l]
+		}
+	}
+	worst := math.Inf(-1)
+	for l := 0; l < c.net.NumLinks(); l++ {
+		var y float64
+		for _, lp := range c.net.Interference(graph.LinkID(l)) {
+			link := c.net.Link(lp)
+			if c.load[lp] > 0 && link.Capacity > 0 {
+				y += c.load[lp] / link.Capacity
+			}
+		}
+		if v := y - 1; v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// SlotsToSteady returns the first slot index after which every value of
+// series stays within tol (relative) of the final value — the paper's
+// steady-state criterion ("throughput within 1% of the final throughput").
+// It returns len(series) if the series never settles.
+func SlotsToSteady(series []float64, tol float64) int {
+	if len(series) == 0 {
+		return 0
+	}
+	final := series[len(series)-1]
+	band := tol * math.Abs(final)
+	if band == 0 {
+		band = tol
+	}
+	for t := 0; t < len(series); t++ {
+		ok := true
+		for u := t; u < len(series); u++ {
+			if math.Abs(series[u]-final) > band {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return t
+		}
+	}
+	return len(series)
+}

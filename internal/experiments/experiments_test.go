@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// fastSim keeps the Monte-Carlo smoke tests quick.
+var fastSim = SimConfig{Runs: 12, Seed: 7, Core: core.Options{Slots: 1500}}
+
+// fastTestbed keeps the emulation smoke tests quick.
+var fastTestbed = TestbedConfig{Seed: 7, Duration: 12, Pairs: 4, Flows: 2, Repeats: 1}
+
+func TestFigure4ShapesHold(t *testing.T) {
+	res := Figure4(TopoResidential, fastSim)
+	for _, s := range []core.Scheme{core.SchemeEMPoWER, core.SchemeSP, core.SchemeSPWiFi, core.SchemeMPmWiFi} {
+		if len(res.Samples[s]) != fastSim.Runs {
+			t.Fatalf("%v has %d samples, want %d", s, len(res.Samples[s]), fastSim.Runs)
+		}
+	}
+	// The headline shape: hybrid EMPoWER gains over WiFi-only and over
+	// single-path hybrid on average.
+	if res.GainVsWiFi <= 0 {
+		t.Errorf("gain vs SP-WiFi = %.2f, want > 0", res.GainVsWiFi)
+	}
+	if res.GainVsSP <= 0 {
+		t.Errorf("gain vs SP = %.2f, want > 0", res.GainVsSP)
+	}
+	if !strings.Contains(res.Render(), "Figure 4") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFigure4Enterprise(t *testing.T) {
+	res := Figure4(TopoEnterprise, SimConfig{Runs: 6, Seed: 3, Core: core.Options{Slots: 1500}})
+	if len(res.Samples[core.SchemeEMPoWER]) != 6 {
+		t.Fatal("sample count wrong")
+	}
+	if res.Topo != TopoEnterprise {
+		t.Error("topo label wrong")
+	}
+}
+
+func TestFigure5FromFigure4(t *testing.T) {
+	f4 := Figure4(TopoResidential, fastSim)
+	res := Figure5(f4)
+	if len(res.Ratios) == 0 {
+		t.Fatal("no worst-flow ratios")
+	}
+	for _, r := range res.Ratios {
+		if r < 0 {
+			t.Fatalf("negative ratio %v", r)
+		}
+	}
+	if res.EMPoWERBetterFrac < 0 || res.EMPoWERBetterFrac > 1 {
+		t.Error("fraction out of range")
+	}
+	_ = res.Render()
+}
+
+func TestFigure6RatiosBounded(t *testing.T) {
+	res := Figure6(TopoResidential, SimConfig{Runs: 8, Seed: 11, Core: core.Options{Slots: 1500}})
+	names := []string{"conservative opt", "EMPoWER", "MP-2bp", "MP-w/o-CC", "SP"}
+	for _, n := range names {
+		for _, v := range res.Ratios[n] {
+			if v < 0 || v > 1 {
+				t.Fatalf("%s ratio %v out of [0,1]", n, v)
+			}
+		}
+	}
+	// EMPoWER should dominate SP in the mean.
+	if len(res.Ratios["EMPoWER"]) > 0 && len(res.Ratios["SP"]) > 0 {
+		if mean(res.Ratios["EMPoWER"]) < mean(res.Ratios["SP"])-0.05 {
+			t.Errorf("EMPoWER mean ratio %.2f below SP %.2f",
+				mean(res.Ratios["EMPoWER"]), mean(res.Ratios["SP"]))
+		}
+	}
+	_ = res.Render()
+}
+
+func TestFigure7UtilityRatios(t *testing.T) {
+	res := Figure7(TopoResidential, SimConfig{Runs: 5, Seed: 17, Core: core.Options{Slots: 1500}})
+	if len(res.Ratios["EMPoWER"]) == 0 {
+		t.Skip("no connected 3-flow instances in this tiny sweep")
+	}
+	for _, v := range res.Ratios["EMPoWER"] {
+		if v < 0 || v > 1 {
+			t.Fatalf("utility ratio %v out of range", v)
+		}
+	}
+	_ = res.Render()
+}
+
+func TestConvergenceComparison(t *testing.T) {
+	res := Convergence(TopoEnterprise, SimConfig{Runs: 8, Seed: 23, Core: core.Options{Slots: 3000}})
+	if res.EMPoWERSlots <= 0 || res.BackpressureSlots <= 0 {
+		t.Skip("no connected instances in this tiny sweep")
+	}
+	// The separation of timescales is the reproduced claim; on small
+	// samples individual instances vary, so assert the aggregate
+	// direction with slack.
+	if res.BackpressureSlots < res.EMPoWERSlots*1.2 {
+		t.Errorf("backpressure (%0.f slots) should converge clearly slower than EMPoWER (%.0f)",
+			res.BackpressureSlots, res.EMPoWERSlots)
+	}
+	t.Log(res.Render())
+}
+
+func TestFigure9Trace(t *testing.T) {
+	res, err := Figure9(fastTestbed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Times) == 0 || len(res.Total) != len(res.Times) {
+		t.Fatal("trace series malformed")
+	}
+	// The received goodput in the final phase should be positive.
+	last := res.Received[len(res.Received)-1]
+	if last <= 0 {
+		t.Errorf("no goodput at the end of the trace")
+	}
+	_ = res.Render()
+}
+
+func TestFigure10Ratios(t *testing.T) {
+	res := Figure10(fastTestbed)
+	if len(res.Ratios["SP"]) == 0 {
+		t.Skip("no connected pairs in this tiny run")
+	}
+	// SP-bf can never exceed the EMPoWER combination by much; SP-WiFi
+	// ratios must be finite and non-negative.
+	for name, rs := range res.Ratios {
+		for _, v := range rs {
+			if v < 0 {
+				t.Fatalf("%s ratio %v negative", name, v)
+			}
+		}
+	}
+	_ = res.Render()
+}
+
+func TestFigure11Table(t *testing.T) {
+	res := Figure11(fastTestbed)
+	if len(res.Pairs) != fastTestbed.Flows {
+		t.Fatalf("pairs = %d, want %d", len(res.Pairs), fastTestbed.Flows)
+	}
+	for _, s := range res.Schemes {
+		if len(res.Mean[s]) != len(res.Pairs) {
+			t.Fatalf("%s means missing", s)
+		}
+	}
+	_ = res.Render()
+}
+
+func TestTable1SmallFiles(t *testing.T) {
+	cfg := fastTestbed
+	res := Table1(cfg)
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(res.Rows))
+	}
+	tiny, short := res.Rows[0], res.Rows[1]
+	if tiny.EMPoWERMean <= 0 || short.EMPoWERMean <= 0 {
+		t.Error("download times not measured")
+	}
+	if tiny.EMPoWERMean >= short.EMPoWERMean {
+		t.Errorf("tiny (%.2f s) should download faster than short (%.2f s)",
+			tiny.EMPoWERMean, short.EMPoWERMean)
+	}
+	_ = res.Render()
+}
+
+func TestFigure12TCPPhases(t *testing.T) {
+	res, err := Figure12(fastTestbed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EMPoWERGoodput <= 0 {
+		t.Error("EMPoWER TCP phase produced no goodput")
+	}
+	_ = res.Render()
+}
+
+func TestFigure13Comparison(t *testing.T) {
+	res := Figure13(fastTestbed)
+	if len(res.Pairs) != fastTestbed.Flows {
+		t.Fatalf("pairs = %d, want %d", len(res.Pairs), fastTestbed.Flows)
+	}
+	_ = res.Render()
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,182 @@
+// Package linkest models the link-capacity estimation of §6.1. On the real
+// testbed, capacities are read from modulation information in frame
+// headers — the MCS index for 802.11n and the bit-loading estimate (BLE)
+// for HomePlug AV PLC. Two regimes exist:
+//
+//   - probe mode: when a link carries no flow, ~1 kB/s probes give a
+//     precise-but-not-perfect estimate that reacts to capacity changes in
+//     a few seconds;
+//   - traffic mode: when a flow is active, per-frame readings at high rate
+//     make the estimate extremely precise and reactive within ~100 ms —
+//     the precision the congestion controller needs, since an
+//     overestimated capacity yields congestion.
+//
+// The estimator consumes per-sample noisy capacity readings and maintains
+// an EWMA whose gain depends on the sampling rate, reproducing both
+// regimes with one mechanism. It also detects link failures when samples
+// stop arriving.
+package linkest
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Mode identifies the estimation regime.
+type Mode int
+
+// Modes.
+const (
+	// ModeProbe: low-rate probing, no active flow.
+	ModeProbe Mode = iota
+	// ModeTraffic: high-rate data-driven estimation.
+	ModeTraffic
+)
+
+// Config tunes an Estimator.
+type Config struct {
+	// ProbeInterval is the probing period in seconds when no traffic
+	// flows (default 0.25 s ≈ 1 kB/s of 256 B probes).
+	ProbeInterval float64
+	// ProbeNoise is the relative standard deviation of a probe-mode
+	// sample (default 0.08).
+	ProbeNoise float64
+	// TrafficNoise is the relative standard deviation of a traffic-mode
+	// sample (default 0.01).
+	TrafficNoise float64
+	// TrafficWindow is the EWMA time constant in traffic mode in seconds
+	// (default 0.1, the paper's "order of hundred of milliseconds").
+	TrafficWindow float64
+	// ProbeWindow is the EWMA time constant in probe mode (default 2 s,
+	// "a few seconds").
+	ProbeWindow float64
+	// FailureTimeout declares the link failed when no sample arrives for
+	// this long (default 1 s).
+	FailureTimeout float64
+}
+
+func (c Config) probeInterval() float64 {
+	if c.ProbeInterval <= 0 {
+		return 0.25
+	}
+	return c.ProbeInterval
+}
+
+func (c Config) probeNoise() float64 {
+	if c.ProbeNoise <= 0 {
+		return 0.08
+	}
+	return c.ProbeNoise
+}
+
+func (c Config) trafficNoise() float64 {
+	if c.TrafficNoise <= 0 {
+		return 0.01
+	}
+	return c.TrafficNoise
+}
+
+func (c Config) trafficWindow() float64 {
+	if c.TrafficWindow <= 0 {
+		return 0.1
+	}
+	return c.TrafficWindow
+}
+
+func (c Config) probeWindow() float64 {
+	if c.ProbeWindow <= 0 {
+		return 2.0
+	}
+	return c.ProbeWindow
+}
+
+func (c Config) failureTimeout() float64 {
+	if c.FailureTimeout <= 0 {
+		return 1.0
+	}
+	return c.FailureTimeout
+}
+
+// Estimator tracks one link's capacity.
+type Estimator struct {
+	cfg Config
+
+	estimate   float64
+	haveSample bool
+	lastSample float64 // virtual time of the last sample
+	mode       Mode
+}
+
+// New returns an estimator with the given configuration.
+func New(cfg Config) *Estimator {
+	return &Estimator{cfg: cfg}
+}
+
+// Mode returns the current regime.
+func (e *Estimator) Mode() Mode { return e.mode }
+
+// SetMode switches between probe and traffic regimes (driven by whether a
+// flow is active on the link).
+func (e *Estimator) SetMode(m Mode) { e.mode = m }
+
+// Observe feeds a capacity reading (Mbps) taken at virtual time now.
+// Sample arrival density determines the effective reaction time via the
+// per-sample EWMA gain a = 1 − exp(−dt/window).
+func (e *Estimator) Observe(sample, now float64) {
+	if sample < 0 {
+		sample = 0
+	}
+	if !e.haveSample {
+		e.estimate = sample
+		e.haveSample = true
+		e.lastSample = now
+		return
+	}
+	dt := now - e.lastSample
+	if dt <= 0 {
+		dt = 1e-6
+	}
+	window := e.cfg.trafficWindow()
+	if e.mode == ModeProbe {
+		window = e.cfg.probeWindow()
+	}
+	a := 1 - math.Exp(-dt/window)
+	e.estimate += a * (sample - e.estimate)
+	e.lastSample = now
+}
+
+// Estimate returns the current capacity estimate in Mbps (0 before any
+// sample).
+func (e *Estimator) Estimate() float64 {
+	if !e.haveSample {
+		return 0
+	}
+	return e.estimate
+}
+
+// Failed reports whether the link should be considered down at time now:
+// samples stopped arriving for longer than the failure timeout.
+func (e *Estimator) Failed(now float64) bool {
+	return e.haveSample && now-e.lastSample > e.cfg.failureTimeout()
+}
+
+// Reset clears the estimator (e.g. after a detected failure recovers).
+func (e *Estimator) Reset() {
+	e.estimate = 0
+	e.haveSample = false
+	e.lastSample = 0
+}
+
+// Sample draws a noisy capacity reading from the true capacity for the
+// current mode, using the supplied RNG. It stands in for the MCS/BLE
+// decoding of real frames.
+func (e *Estimator) Sample(trueCapacity float64, rng *rand.Rand) float64 {
+	noise := e.cfg.trafficNoise()
+	if e.mode == ModeProbe {
+		noise = e.cfg.probeNoise()
+	}
+	return trueCapacity * math.Exp(rng.NormFloat64()*noise)
+}
+
+// ProbeInterval exposes the configured probing period for schedulers.
+func (e *Estimator) ProbeInterval() float64 { return e.cfg.probeInterval() }

@@ -1,0 +1,195 @@
+// Package mac simulates the medium access layer of the paper's evaluation:
+// a simplified CSMA/CA with perfect carrier sensing and no back-off
+// (§5.1). A link may start transmitting only when no link in its
+// interference domain is active; when a transmission ends, a uniformly
+// random eligible contender grabs the medium. There are no collisions
+// (sensing is perfect), so contention manifests purely as airtime sharing,
+// exactly the abstraction the paper's model of §2 builds on.
+//
+// The package also provides a fluid approximation (FluidDelivered) used by
+// the analytic no-congestion-control baselines: it reproduces the
+// congestion-collapse behaviour of saturated multihop paths without
+// simulating individual packets.
+package mac
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Packet is one MAC-layer frame in flight.
+type Packet struct {
+	// Bits is the frame size in bits (including layer-2.5 overhead).
+	Bits float64
+	// Payload carries upper-layer state (e.g. a wire.Frame); the MAC
+	// never inspects it.
+	Payload interface{}
+	// Enqueued is the virtual time the packet entered the MAC queue.
+	Enqueued float64
+}
+
+// DeliverFunc receives packets on the far end of a link.
+type DeliverFunc func(l graph.LinkID, pkt *Packet)
+
+// DropFunc observes packets lost to queue overflow or channel errors.
+type DropFunc func(l graph.LinkID, pkt *Packet, reason string)
+
+// Options configures the MAC.
+type Options struct {
+	// QueueLimit is the per-link FIFO capacity in packets (default 100,
+	// drop-tail).
+	QueueLimit int
+	// LossProb[l] is an optional per-link channel error probability
+	// applied per packet (default none).
+	LossProb []float64
+}
+
+func (o Options) queueLimit() int {
+	if o.QueueLimit <= 0 {
+		return 100
+	}
+	return o.QueueLimit
+}
+
+// LinkStats accumulates per-link counters.
+type LinkStats struct {
+	DeliveredBits float64
+	DeliveredPkts int
+	DroppedPkts   int
+	BusySeconds   float64
+}
+
+// MAC is the shared-medium scheduler. It must only be driven from the
+// owning sim.Engine's event loop (single-threaded).
+type MAC struct {
+	engine *sim.Engine
+	net    *graph.Network
+	rng    *rand.Rand
+	opts   Options
+
+	queues       [][]*Packet
+	transmitting []bool
+	// blocked[l] counts active transmitters in I_l; l may start only when
+	// blocked[l] == 0.
+	blocked []int
+	stats   []LinkStats
+
+	// Deliver is invoked when a packet crosses a link (after channel-loss
+	// filtering). Drop is invoked on losses. Either may be nil.
+	Deliver DeliverFunc
+	Drop    DropFunc
+}
+
+// New creates a MAC over the network's links.
+func New(engine *sim.Engine, net *graph.Network, rng *rand.Rand, opts Options) *MAC {
+	n := net.NumLinks()
+	return &MAC{
+		engine:       engine,
+		net:          net,
+		rng:          rng,
+		opts:         opts,
+		queues:       make([][]*Packet, n),
+		transmitting: make([]bool, n),
+		blocked:      make([]int, n),
+		stats:        make([]LinkStats, n),
+	}
+}
+
+// QueueLen returns the backlog of link l in packets (including the packet
+// currently on the air).
+func (m *MAC) QueueLen(l graph.LinkID) int { return len(m.queues[l]) }
+
+// Stats returns a copy of link l's counters.
+func (m *MAC) Stats(l graph.LinkID) LinkStats { return m.stats[l] }
+
+// Busy reports whether link l is currently transmitting.
+func (m *MAC) Busy(l graph.LinkID) bool { return m.transmitting[l] }
+
+// Send enqueues a packet on link l. It returns false (and invokes Drop)
+// when the queue is full or the link is dead.
+func (m *MAC) Send(l graph.LinkID, pkt *Packet) bool {
+	link := m.net.Link(l)
+	if link.Capacity <= 0 {
+		m.drop(l, pkt, "dead-link")
+		return false
+	}
+	if len(m.queues[l]) >= m.opts.queueLimit() {
+		m.drop(l, pkt, "queue-overflow")
+		return false
+	}
+	pkt.Enqueued = m.engine.Now()
+	m.queues[l] = append(m.queues[l], pkt)
+	m.tryStart(l)
+	return true
+}
+
+func (m *MAC) drop(l graph.LinkID, pkt *Packet, reason string) {
+	m.stats[l].DroppedPkts++
+	if m.Drop != nil {
+		m.Drop(l, pkt, reason)
+	}
+}
+
+// tryStart begins a transmission on l if it has backlog and its medium is
+// idle.
+func (m *MAC) tryStart(l graph.LinkID) {
+	if m.transmitting[l] || len(m.queues[l]) == 0 || m.blocked[l] > 0 {
+		return
+	}
+	link := m.net.Link(l)
+	if link.Capacity <= 0 {
+		return
+	}
+	pkt := m.queues[l][0]
+	m.transmitting[l] = true
+	for _, i := range m.net.Interference(l) {
+		m.blocked[i]++
+	}
+	duration := pkt.Bits / (link.Capacity * 1e6)
+	m.stats[l].BusySeconds += duration
+	m.engine.Schedule(duration, func() { m.complete(l, pkt) })
+}
+
+func (m *MAC) complete(l graph.LinkID, pkt *Packet) {
+	m.transmitting[l] = false
+	// Pop the head.
+	q := m.queues[l]
+	copy(q, q[1:])
+	q[len(q)-1] = nil
+	m.queues[l] = q[:len(q)-1]
+
+	for _, i := range m.net.Interference(l) {
+		m.blocked[i]--
+	}
+
+	// Channel-error filtering happens at reception, as with real CSMA/CA
+	// where the airtime is consumed regardless.
+	lost := false
+	if m.opts.LossProb != nil && int(l) < len(m.opts.LossProb) {
+		if p := m.opts.LossProb[l]; p > 0 && m.rng.Float64() < p {
+			lost = true
+		}
+	}
+	if lost {
+		m.drop(l, pkt, "channel-error")
+	} else {
+		m.stats[l].DeliveredBits += pkt.Bits
+		m.stats[l].DeliveredPkts++
+		if m.Deliver != nil {
+			m.Deliver(l, pkt)
+		}
+	}
+
+	// Hand the medium to the next contender(s): all links freed by this
+	// completion, in uniformly random order (perfect sensing, no
+	// back-off, no collisions).
+	cands := m.net.Interference(l)
+	order := make([]graph.LinkID, len(cands))
+	copy(order, cands)
+	m.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	for _, c := range order {
+		m.tryStart(c)
+	}
+}

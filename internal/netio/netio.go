@@ -1,0 +1,194 @@
+// Package netio loads and saves hybrid network topologies as JSON, the
+// interchange format used by cmd/empower-route. The format describes
+// nodes (name, position, technologies) and links (endpoints, technology,
+// capacity, optional duplex flag):
+//
+//	{
+//	  "nodes": [{"name": "a", "x": 0, "y": 0, "techs": ["plc", "wifi"]}],
+//	  "links": [{"from": "a", "to": "b", "tech": "plc",
+//	             "capacity": 10, "duplex": true}]
+//	}
+//
+// Interference defaults to the single-collision-domain-per-technology
+// model; callers needing a different model can rebuild from the parsed
+// Topology.
+package netio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Node is the JSON form of a station.
+type Node struct {
+	Name  string   `json:"name"`
+	X     float64  `json:"x"`
+	Y     float64  `json:"y"`
+	Techs []string `json:"techs"`
+}
+
+// Link is the JSON form of a link.
+type Link struct {
+	From     string  `json:"from"`
+	To       string  `json:"to"`
+	Tech     string  `json:"tech"`
+	Capacity float64 `json:"capacity"`
+	// Duplex adds the reverse link with the same capacity.
+	Duplex bool `json:"duplex,omitempty"`
+}
+
+// Topology is the JSON document.
+type Topology struct {
+	Nodes []Node `json:"nodes"`
+	Links []Link `json:"links"`
+}
+
+// ParseTech maps the JSON technology names to graph.Tech.
+func ParseTech(s string) (graph.Tech, error) {
+	switch strings.ToLower(s) {
+	case "plc":
+		return graph.TechPLC, nil
+	case "wifi", "wifi1":
+		return graph.TechWiFi, nil
+	case "wifi2":
+		return graph.TechWiFi2, nil
+	default:
+		return 0, fmt.Errorf("netio: unknown technology %q", s)
+	}
+}
+
+// TechName is the inverse of ParseTech.
+func TechName(t graph.Tech) string {
+	switch t {
+	case graph.TechPLC:
+		return "plc"
+	case graph.TechWiFi:
+		return "wifi"
+	case graph.TechWiFi2:
+		return "wifi2"
+	default:
+		return fmt.Sprintf("tech%d", int(t))
+	}
+}
+
+// Read parses a topology document.
+func Read(r io.Reader) (*Topology, error) {
+	var t Topology
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("netio: %w", err)
+	}
+	return &t, nil
+}
+
+// Build materializes the document into a Network (nil model = single
+// collision domain per technology) and returns the name→ID mapping.
+func (t *Topology) Build(model graph.InterferenceModel) (*graph.Network, map[string]graph.NodeID, error) {
+	b := graph.NewBuilder(model)
+	ids := map[string]graph.NodeID{}
+	for _, n := range t.Nodes {
+		if n.Name == "" {
+			return nil, nil, fmt.Errorf("netio: node without a name")
+		}
+		if _, dup := ids[n.Name]; dup {
+			return nil, nil, fmt.Errorf("netio: duplicate node %q", n.Name)
+		}
+		var techs []graph.Tech
+		for _, ts := range n.Techs {
+			tech, err := ParseTech(ts)
+			if err != nil {
+				return nil, nil, err
+			}
+			techs = append(techs, tech)
+		}
+		ids[n.Name] = b.AddNode(n.Name, n.X, n.Y, techs...)
+	}
+	for _, l := range t.Links {
+		tech, err := ParseTech(l.Tech)
+		if err != nil {
+			return nil, nil, err
+		}
+		from, ok := ids[l.From]
+		if !ok {
+			return nil, nil, fmt.Errorf("netio: link references unknown node %q", l.From)
+		}
+		to, ok := ids[l.To]
+		if !ok {
+			return nil, nil, fmt.Errorf("netio: link references unknown node %q", l.To)
+		}
+		if l.Capacity <= 0 {
+			return nil, nil, fmt.Errorf("netio: link %s->%s has non-positive capacity", l.From, l.To)
+		}
+		if from == to {
+			return nil, nil, fmt.Errorf("netio: self-link at %q", l.From)
+		}
+		if l.Duplex {
+			b.AddDuplex(from, to, tech, l.Capacity)
+		} else {
+			b.AddLink(from, to, tech, l.Capacity)
+		}
+	}
+	return b.Build(), ids, nil
+}
+
+// FromNetwork converts a Network back into the JSON document form
+// (links are exported individually; duplex pairs are not re-merged).
+func FromNetwork(net *graph.Network) *Topology {
+	t := &Topology{}
+	for i := 0; i < net.NumNodes(); i++ {
+		n := net.Node(graph.NodeID(i))
+		name := n.Name
+		if name == "" {
+			name = fmt.Sprintf("n%d", i+1)
+		}
+		var techs []string
+		for _, k := range n.Techs {
+			techs = append(techs, TechName(k))
+		}
+		t.Nodes = append(t.Nodes, Node{Name: name, X: n.X, Y: n.Y, Techs: techs})
+	}
+	nameOf := func(id graph.NodeID) string {
+		if n := net.Node(id).Name; n != "" {
+			return n
+		}
+		return fmt.Sprintf("n%d", int(id)+1)
+	}
+	for i := 0; i < net.NumLinks(); i++ {
+		l := net.Link(graph.LinkID(i))
+		if l.Capacity <= 0 {
+			continue
+		}
+		t.Links = append(t.Links, Link{
+			From:     nameOf(l.From),
+			To:       nameOf(l.To),
+			Tech:     TechName(l.Tech),
+			Capacity: l.Capacity,
+		})
+	}
+	sort.Slice(t.Links, func(a, b int) bool {
+		if t.Links[a].From != t.Links[b].From {
+			return t.Links[a].From < t.Links[b].From
+		}
+		if t.Links[a].To != t.Links[b].To {
+			return t.Links[a].To < t.Links[b].To
+		}
+		return t.Links[a].Tech < t.Links[b].Tech
+	})
+	return t
+}
+
+// Write serializes the document with indentation.
+func (t *Topology) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(t); err != nil {
+		return fmt.Errorf("netio: %w", err)
+	}
+	return nil
+}

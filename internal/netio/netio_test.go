@@ -1,0 +1,118 @@
+package netio
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+const sampleDoc = `{
+  "nodes": [
+    {"name": "a", "x": 0, "y": 0, "techs": ["plc", "wifi"]},
+    {"name": "b", "x": 10, "y": 0, "techs": ["plc", "wifi"]},
+    {"name": "c", "x": 20, "y": 0, "techs": ["wifi"]}
+  ],
+  "links": [
+    {"from": "a", "to": "b", "tech": "plc", "capacity": 10, "duplex": true},
+    {"from": "a", "to": "b", "tech": "wifi", "capacity": 15, "duplex": true},
+    {"from": "b", "to": "c", "tech": "wifi", "capacity": 30}
+  ]
+}`
+
+func TestReadAndBuild(t *testing.T) {
+	doc, err := Read(strings.NewReader(sampleDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, ids, err := doc.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumNodes() != 3 {
+		t.Errorf("nodes = %d, want 3", net.NumNodes())
+	}
+	if net.NumLinks() != 5 { // 2 duplex pairs + 1 simplex
+		t.Errorf("links = %d, want 5", net.NumLinks())
+	}
+	if net.FindLink(ids["a"], ids["b"], graph.TechPLC) < 0 {
+		t.Error("missing a->b PLC")
+	}
+	if net.FindLink(ids["c"], ids["b"], graph.TechWiFi) != -1 {
+		t.Error("simplex link should not have a reverse")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"unknown tech", `{"nodes":[{"name":"a","techs":["lte"]}],"links":[]}`},
+		{"dup node", `{"nodes":[{"name":"a"},{"name":"a"}],"links":[]}`},
+		{"unnamed node", `{"nodes":[{"x":1}],"links":[]}`},
+		{"unknown endpoint", `{"nodes":[{"name":"a","techs":["wifi"]}],"links":[{"from":"a","to":"zz","tech":"wifi","capacity":5}]}`},
+		{"bad capacity", `{"nodes":[{"name":"a","techs":["wifi"]},{"name":"b","techs":["wifi"]}],"links":[{"from":"a","to":"b","tech":"wifi","capacity":0}]}`},
+		{"self link", `{"nodes":[{"name":"a","techs":["wifi"]}],"links":[{"from":"a","to":"a","tech":"wifi","capacity":5}]}`},
+		{"bad link tech", `{"nodes":[{"name":"a","techs":["wifi"]},{"name":"b","techs":["wifi"]}],"links":[{"from":"a","to":"b","tech":"zz","capacity":5}]}`},
+	}
+	for _, c := range cases {
+		doc, err := Read(strings.NewReader(c.doc))
+		if err != nil {
+			continue // some cases fail at parse time, equally fine
+		}
+		if _, _, err := doc.Build(nil); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestReadRejectsUnknownFields(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"nodes":[],"links":[],"bogus":1}`)); err == nil {
+		t.Error("unknown top-level field accepted")
+	}
+}
+
+func TestRoundTripThroughNetwork(t *testing.T) {
+	doc, err := Read(strings.NewReader(sampleDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, _, err := doc.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Export and re-import.
+	out := FromNetwork(net)
+	var b strings.Builder
+	if err := out.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := Read(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("re-read failed: %v\n%s", err, b.String())
+	}
+	net2, _, err := doc2.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net2.NumNodes() != net.NumNodes() || net2.NumLinks() != net.NumLinks() {
+		t.Errorf("round trip changed shape: %d/%d -> %d/%d",
+			net.NumNodes(), net.NumLinks(), net2.NumNodes(), net2.NumLinks())
+	}
+}
+
+func TestParseTechAndName(t *testing.T) {
+	for _, tech := range []graph.Tech{graph.TechPLC, graph.TechWiFi, graph.TechWiFi2} {
+		got, err := ParseTech(TechName(tech))
+		if err != nil || got != tech {
+			t.Errorf("ParseTech(TechName(%v)) = %v, %v", tech, got, err)
+		}
+	}
+	if _, err := ParseTech("ethernet"); err == nil {
+		t.Error("unknown tech accepted")
+	}
+	if TechName(graph.Tech(9)) != "tech9" {
+		t.Error("fallback tech name wrong")
+	}
+}

@@ -1,0 +1,333 @@
+package node
+
+import (
+	"repro/internal/graph"
+	"repro/internal/linkest"
+	"repro/internal/mac"
+	"repro/internal/wire"
+)
+
+// neighborReport is a cached price broadcast from one neighbor on one
+// technology.
+type neighborReport struct {
+	airtime  float64
+	gammaSum float64
+	tcp      bool
+	heardAt  float64
+}
+
+// Agent is the per-node EMPoWER daemon: forwarding, price accounting, and
+// the endpoints of any flows sourced at or destined to this node.
+type Agent struct {
+	id graph.NodeID
+	em *Emulation
+
+	// ifaceOut maps the layer-2.5 interface ID of a neighbor's ingress
+	// interface to this node's egress link reaching it.
+	ifaceOut map[wire.InterfaceID]graph.LinkID
+
+	// gamma is the dual variable per egress link.
+	gamma map[graph.LinkID]float64
+	// offeredBits accumulates bits offered to the MAC per egress link
+	// during the current price interval (airtime-demand measurement).
+	offeredBits map[graph.LinkID]float64
+
+	// reports[tech][origin] caches overheard price broadcasts.
+	reports map[graph.Tech]map[graph.NodeID]*neighborReport
+
+	// est tracks per-egress-link capacity estimators.
+	est map[graph.LinkID]*linkest.Estimator
+
+	// extBusy tracks carrier-sensed external airtime per technology.
+	extBusy map[graph.Tech]*externalBusy
+
+	// Flow endpoints.
+	source  map[uint16]*Flow  // flows sourced here, by flow ID
+	sinks   map[sinkKey]*Sink // flows terminating here
+	tcpSeen bool              // a TCP flow touches this node (δ signal)
+
+	// Forwarding statistics.
+	Forwarded int
+	Consumed  int
+}
+
+type sinkKey struct {
+	src    graph.NodeID
+	flowID uint16
+}
+
+func newAgent(em *Emulation, id graph.NodeID) *Agent {
+	a := &Agent{
+		id:          id,
+		em:          em,
+		ifaceOut:    map[wire.InterfaceID]graph.LinkID{},
+		gamma:       map[graph.LinkID]float64{},
+		offeredBits: map[graph.LinkID]float64{},
+		reports:     map[graph.Tech]map[graph.NodeID]*neighborReport{},
+		est:         map[graph.LinkID]*linkest.Estimator{},
+		source:      map[uint16]*Flow{},
+		sinks:       map[sinkKey]*Sink{},
+	}
+	for _, l := range em.Net.Out(id) {
+		link := em.Net.Link(l)
+		a.ifaceOut[wire.HashInterface(link.To, link.Tech)] = l
+		a.gamma[l] = 0
+		a.est[l] = linkest.New(linkest.Config{})
+	}
+	// Probe-mode estimation keeps estimates fresh on idle links.
+	if em.cfg.Estimation {
+		em.Engine.Every(a.est0ProbeInterval(), a.probeTick)
+	}
+	return a
+}
+
+func (a *Agent) est0ProbeInterval() float64 {
+	for _, e := range a.est {
+		return e.ProbeInterval()
+	}
+	return 0.25
+}
+
+// probeTick samples every idle egress link at probe precision.
+func (a *Agent) probeTick() {
+	now := a.em.Engine.Now()
+	for l, e := range a.est {
+		if e.Mode() == linkest.ModeProbe {
+			cap := a.em.Net.Link(l).Capacity
+			if cap > 0 {
+				e.Observe(e.Sample(cap, a.em.rng), now)
+			}
+		}
+	}
+}
+
+// sendOnLink offers an encoded frame to the MAC on egress link l,
+// recording airtime demand and feeding traffic-mode capacity estimation.
+func (a *Agent) sendOnLink(l graph.LinkID, bits float64, payload interface{}) bool {
+	a.offeredBits[l] += bits
+	if est := a.est[l]; est != nil && a.em.cfg.Estimation {
+		est.SetMode(linkest.ModeTraffic)
+		cap := a.em.Net.Link(l).Capacity
+		if cap > 0 {
+			est.Observe(est.Sample(cap, a.em.rng), a.em.Engine.Now())
+		}
+	}
+	return a.em.MAC.Send(l, &mac.Packet{Bits: bits, Payload: payload})
+}
+
+// receive handles a MAC delivery on ingress link l.
+func (a *Agent) receive(l graph.LinkID, pkt *mac.Packet) {
+	switch f := pkt.Payload.(type) {
+	case *wire.DataFrame:
+		a.onData(f)
+	case *ackHop:
+		// Acknowledgement in transit on its reverse path: forward the
+		// next hop (or hand to the flow source at the end of the path).
+		f.sink.forwardAck(f.ack, f.path, f.hop+1)
+	default:
+		// Unknown payloads are dropped silently (future frame types).
+	}
+}
+
+// onData implements the Check-Dst / Fwd pipeline of Figure 2.
+func (a *Agent) onData(f *wire.DataFrame) {
+	if f.Dst == a.id {
+		a.Consumed++
+		a.sinkFor(f.Src, f.FlowID).onData(f)
+		return
+	}
+	// Forward to the next hop.
+	f.Hop++
+	if int(f.Hop) >= f.Header.RouteLen() {
+		return // malformed route; drop
+	}
+	next, ok := a.ifaceOut[f.Header.Route[f.Hop]]
+	if !ok {
+		return // we are not on this route; drop
+	}
+	a.addPrice(next, &f.Header)
+	a.Forwarded++
+	a.sendOnLink(next, frameBits(f), f)
+}
+
+// addPrice adds d_l · Σ_{i∈I_l} γ_i to the header's q_r field (§4.2).
+func (a *Agent) addPrice(l graph.LinkID, h *wire.Header) {
+	h.AddQR(a.priceTerm(l))
+}
+
+// priceTerm computes d_l · Σ_{i∈I_l} γ_i from local state: the node's own
+// γ over its egress links of the link's technology plus the γ sums
+// reported by neighbors on that technology.
+func (a *Agent) priceTerm(l graph.LinkID) float64 {
+	tech := a.em.Net.Link(l).Tech
+	gsum := a.ownGammaSum(tech)
+	now := a.em.Engine.Now()
+	for _, rep := range a.reports[tech] {
+		if now-rep.heardAt <= a.em.cfg.reportStale() {
+			gsum += rep.gammaSum
+		}
+	}
+	return a.em.dEstimate(l) * gsum
+}
+
+func (a *Agent) ownGammaSum(tech graph.Tech) float64 {
+	var s float64
+	for l, g := range a.gamma {
+		if a.em.Net.Link(l).Tech == tech {
+			s += g
+		}
+	}
+	return s
+}
+
+// ownAirtime returns the node's aggregate airtime demand on a technology
+// over the last price interval.
+func (a *Agent) ownAirtime(tech graph.Tech) float64 {
+	var s float64
+	for l, bits := range a.offeredBits {
+		if a.em.Net.Link(l).Tech != tech {
+			continue
+		}
+		c := a.em.linkEstimate(l)
+		if c > 0 {
+			// bits per interval -> Mbps -> airtime fraction.
+			rate := bits / a.em.cfg.priceInterval() / 1e6
+			s += rate / c
+		}
+	}
+	return s
+}
+
+// priceTick runs every price interval: measure airtime, update γ per
+// egress link (eq. 8), broadcast the per-technology aggregates, and reset
+// the measurement window.
+func (a *Agent) priceTick() {
+	now := a.em.Engine.Now()
+	limit := 1 - a.effectiveDelta()
+	techs := map[graph.Tech]bool{}
+	for _, l := range a.em.Net.Out(a.id) {
+		techs[a.em.Net.Link(l).Tech] = true
+	}
+	for tech := range techs {
+		// y for this node's links of `tech`: own demand + fresh reports +
+		// carrier-sensed external airtime (§4.3).
+		y := a.ownAirtime(tech)
+		for _, rep := range a.reports[tech] {
+			if now-rep.heardAt <= a.em.cfg.reportStale() {
+				y += rep.airtime
+			}
+		}
+		y += a.measureExternal(tech)
+		for _, l := range a.em.Net.Out(a.id) {
+			if a.em.Net.Link(l).Tech != tech {
+				continue
+			}
+			g := a.gamma[l] + a.em.cfg.gammaAlpha()*(y-limit)
+			if g < 0 {
+				g = 0
+			}
+			a.gamma[l] = g
+		}
+		a.em.broadcastPrice(a.id, &wire.PriceFrame{
+			Origin:     a.id,
+			Tech:       tech,
+			Airtime:    a.ownAirtime(tech),
+			GammaSum:   a.ownGammaSum(tech),
+			TCPPresent: a.tcpSeen,
+		})
+	}
+	// Idle egress links fall back to probe-mode estimation (checked
+	// before the counters reset).
+	if a.em.cfg.Estimation {
+		for l, est := range a.est {
+			if a.offeredBits[l] == 0 && est.Mode() == linkest.ModeTraffic {
+				est.SetMode(linkest.ModeProbe)
+			}
+		}
+	}
+	for l := range a.offeredBits {
+		a.offeredBits[l] = 0
+	}
+}
+
+// effectiveDelta returns δ, raised to the TCP value when a TCP flow was
+// signalled in this node's contention domain (§6.4).
+func (a *Agent) effectiveDelta() float64 {
+	d := a.em.cfg.Delta
+	if a.tcpSeen && d < tcpDelta {
+		return tcpDelta
+	}
+	return d
+}
+
+// tcpDelta is the §6.4 constraint margin for TCP traffic.
+const tcpDelta = 0.3
+
+// onPrice caches a neighbor's broadcast.
+func (a *Agent) onPrice(f *wire.PriceFrame) {
+	m := a.reports[f.Tech]
+	if m == nil {
+		m = map[graph.NodeID]*neighborReport{}
+		a.reports[f.Tech] = m
+	}
+	m[f.Origin] = &neighborReport{
+		airtime:  f.Airtime,
+		gammaSum: f.GammaSum,
+		tcp:      f.TCPPresent,
+		heardAt:  a.em.Engine.Now(),
+	}
+	if f.TCPPresent {
+		a.tcpSeen = true
+	}
+}
+
+// onAck feeds an acknowledgement back into the flow it belongs to.
+func (a *Agent) onAck(f *wire.AckFrame) {
+	if f.Src != a.id {
+		return // not ours (acks are source-routed; shouldn't happen)
+	}
+	if fl := a.source[f.FlowID]; fl != nil {
+		fl.onAck(f)
+	}
+}
+
+// sinkFor returns (creating on demand) the sink state of a flow
+// terminating here.
+func (a *Agent) sinkFor(src graph.NodeID, flowID uint16) *Sink {
+	k := sinkKey{src, flowID}
+	s := a.sinks[k]
+	if s == nil {
+		s = newSink(a, src, flowID)
+		a.sinks[k] = s
+		a.em.Engine.Every(a.em.cfg.ackInterval(), s.ackTick)
+	}
+	return s
+}
+
+// SinkFor returns (creating on demand) the sink of the flow identified by
+// its source node and flow ID — the hook point for transport receivers.
+func (a *Agent) SinkFor(src graph.NodeID, flowID uint16) *Sink {
+	return a.sinkFor(src, flowID)
+}
+
+// Sinks lists the sinks terminating at this node (for measurements).
+func (a *Agent) Sinks() []*Sink {
+	out := make([]*Sink, 0, len(a.sinks))
+	for _, s := range a.sinks {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Gamma exposes the dual variable of an egress link (for tests).
+func (a *Agent) Gamma(l graph.LinkID) float64 { return a.gamma[l] }
+
+// frameBits returns the on-air size of a data frame in bits.
+func frameBits(f *wire.DataFrame) float64 {
+	return float64(f.WireLen()) * 8
+}
+
+// ackBits returns the on-air size of an ack frame in bits.
+func ackBits(f *wire.AckFrame) float64 {
+	return float64(f.WireLen()+18) * 8 // plus an Ethernet-ish envelope
+}

@@ -1,0 +1,279 @@
+// Package node implements the EMPoWER node agent of §6.1 — the Go
+// equivalent of the paper's Click Modular Router datapath — running over
+// the discrete-event engine and the CSMA MAC:
+//
+//   - source routing with the 20-byte layer-2.5 header (package wire);
+//     intermediate nodes check the destination and forward to the next
+//     hop, adding their price contribution d_l·Σ_{i∈I_l}γ_i to the q_r
+//     header field;
+//   - per-technology price broadcasts every 100 ms carrying the node's
+//     aggregate airtime demand and γ sum (§4.2), from which neighbors
+//     compute y_l and update their duals;
+//   - destination-side packet reordering by sequence number, loss
+//     detection ("a packet with sequence number S is lost when packets
+//     with higher sequence numbers arrived on all routes"), optional
+//     delay equalization for TCP (§6.4), and acknowledgements at most 10
+//     per second returning q_r per route;
+//   - source-side multipath congestion control: each packet picks route r
+//     with probability proportional to x_r, and the rates follow the
+//     proximal update of §4.3 driven by acknowledged prices, with the α
+//     step-size heuristic of §6.1.
+package node
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/mac"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Config tunes the emulation.
+type Config struct {
+	// AckInterval is the destination acknowledgement period (default
+	// 0.1 s — at most 10 acks per second as in the paper).
+	AckInterval float64
+	// PriceInterval is the price-broadcast and γ-update period (default
+	// 0.1 s).
+	PriceInterval float64
+	// GammaAlpha is the dual step size for the per-link γ updates
+	// (default 0.1).
+	GammaAlpha float64
+	// FlowAlphaBase is the base α of the per-flow rate updates, adapted
+	// by the paper's heuristic (default 0.02).
+	FlowAlphaBase float64
+	// Delta is the constraint margin δ (default 0; §6.3 uses 0.05, §6.4
+	// uses 0.3 for TCP).
+	Delta float64
+	// UtilityScale is the proximal gain (see congestion.Options).
+	UtilityScale float64
+	// PacketBytes is the application payload per packet (default 1500).
+	PacketBytes int
+	// QueueLimit is the per-link MAC queue in packets (default 100).
+	QueueLimit int
+	// DelayEqualize enables destination-side delay equalization across
+	// routes (§6.4; default off).
+	DelayEqualize bool
+	// ReportStale expires neighbor price reports after this many seconds
+	// (default 0.5).
+	ReportStale float64
+	// DisableCC turns congestion control off (the w/o-CC baselines):
+	// sources keep their first hops backlogged and no shaping occurs.
+	DisableCC bool
+	// InitialRate bootstraps each route's rate in Mbps (default 0.5).
+	InitialRate float64
+	// Estimation enables noisy link-capacity estimation (package
+	// linkest) instead of oracle capacities for the price terms
+	// (default true in testbed experiments; tests may disable it).
+	Estimation bool
+}
+
+func (c Config) ackInterval() float64 {
+	if c.AckInterval <= 0 {
+		return 0.1
+	}
+	return c.AckInterval
+}
+
+func (c Config) priceInterval() float64 {
+	if c.PriceInterval <= 0 {
+		return 0.1
+	}
+	return c.PriceInterval
+}
+
+func (c Config) gammaAlpha() float64 {
+	if c.GammaAlpha <= 0 {
+		return 0.1
+	}
+	return c.GammaAlpha
+}
+
+func (c Config) flowAlphaBase() float64 {
+	if c.FlowAlphaBase <= 0 {
+		return 0.02
+	}
+	return c.FlowAlphaBase
+}
+
+func (c Config) utilityScale() float64 {
+	if c.UtilityScale <= 0 {
+		return 50
+	}
+	return c.UtilityScale
+}
+
+func (c Config) packetBytes() int {
+	if c.PacketBytes <= 0 {
+		return 1500
+	}
+	return c.PacketBytes
+}
+
+func (c Config) queueLimit() int {
+	if c.QueueLimit <= 0 {
+		return 100
+	}
+	return c.QueueLimit
+}
+
+func (c Config) reportStale() float64 {
+	if c.ReportStale <= 0 {
+		return 0.5
+	}
+	return c.ReportStale
+}
+
+func (c Config) initialRate() float64 {
+	if c.InitialRate <= 0 {
+		return 0.5
+	}
+	return c.InitialRate
+}
+
+// Emulation owns the engine, the MAC, and one Agent per network node.
+type Emulation struct {
+	Engine *sim.Engine
+	Net    *graph.Network
+	MAC    *mac.MAC
+	Agents []*Agent
+
+	cfg   Config
+	rng   *rand.Rand
+	flows []*Flow
+}
+
+// NewEmulation builds the emulated network.
+func NewEmulation(net *graph.Network, cfg Config, seed int64) *Emulation {
+	e := &Emulation{
+		Engine: &sim.Engine{},
+		Net:    net,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+	e.MAC = mac.New(e.Engine, net, e.rng, mac.Options{QueueLimit: cfg.queueLimit()})
+	e.MAC.Deliver = e.deliver
+	e.MAC.Drop = func(_ graph.LinkID, pkt *mac.Packet, _ string) {
+		// Release transport metadata attached to frames the MAC dropped
+		// (delivered frames release it at the sink).
+		if df, ok := pkt.Payload.(*wire.DataFrame); ok {
+			dropMeta(df)
+		}
+	}
+	e.Agents = make([]*Agent, net.NumNodes())
+	for i := range e.Agents {
+		e.Agents[i] = newAgent(e, graph.NodeID(i))
+	}
+	// Periodic per-node price broadcasts and dual updates, staggered a
+	// little to avoid artificial synchronization.
+	for i, a := range e.Agents {
+		a := a
+		offset := cfg.priceInterval() * float64(i) / float64(len(e.Agents)+1)
+		e.Engine.Schedule(offset, func() {
+			a.priceTick()
+			e.Engine.Every(cfg.priceInterval(), a.priceTick)
+		})
+	}
+	return e
+}
+
+// Flows returns the registered flows.
+func (e *Emulation) Flows() []*Flow { return e.flows }
+
+// Agent returns node id's agent.
+func (e *Emulation) Agent(id graph.NodeID) *Agent { return e.Agents[id] }
+
+// deliver dispatches MAC deliveries to the receiving agent.
+func (e *Emulation) deliver(l graph.LinkID, pkt *mac.Packet) {
+	to := e.Net.Link(l).To
+	e.Agents[to].receive(l, pkt)
+}
+
+// Run advances the emulation to absolute virtual time t (seconds).
+func (e *Emulation) Run(t float64) { e.Engine.Run(t) }
+
+// broadcastPrice delivers a price frame to every node sharing technology
+// k within interference range of the origin. Price frames are modeled on
+// the control plane (no airtime): the paper reports their overhead as
+// negligible ("a small communication-overhead among the nodes").
+func (e *Emulation) broadcastPrice(from graph.NodeID, f *wire.PriceFrame) {
+	buf := f.MarshalBinary()
+	for _, a := range e.Agents {
+		if a.id == from {
+			continue
+		}
+		if !e.Net.Node(a.id).HasTech(f.Tech) && !hasIngress(e.Net, a.id, f.Tech) {
+			continue
+		}
+		if !e.inEarshot(from, a.id, f.Tech) {
+			continue
+		}
+		var g wire.PriceFrame
+		if err := g.UnmarshalBinary(buf); err != nil {
+			panic(fmt.Sprintf("node: price frame round-trip: %v", err))
+		}
+		agent := a
+		e.Engine.Schedule(1e-4, func() { agent.onPrice(&g) })
+	}
+}
+
+// inEarshot reports whether a broadcast by `from` on technology k is
+// overheard by `to`: some link of `from` on k interferes with some link of
+// `to` on k (the §4.2 "nodes in the interference domains of the outgoing
+// links" rule).
+func (e *Emulation) inEarshot(from, to graph.NodeID, tech graph.Tech) bool {
+	for _, lf := range e.Net.Out(from) {
+		if e.Net.Link(lf).Tech != tech {
+			continue
+		}
+		for _, i := range e.Net.Interference(lf) {
+			li := e.Net.Link(i)
+			if li.Tech == tech && (li.From == to || li.To == to) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func hasIngress(net *graph.Network, id graph.NodeID, tech graph.Tech) bool {
+	for _, l := range net.In(id) {
+		if net.Link(l).Tech == tech {
+			return true
+		}
+	}
+	return false
+}
+
+// linkEstimate returns the capacity estimate used for price terms: the
+// linkest estimate when estimation is enabled and warmed up, the true
+// capacity otherwise.
+func (e *Emulation) linkEstimate(l graph.LinkID) float64 {
+	if e.cfg.Estimation {
+		a := e.Agents[e.Net.Link(l).From]
+		if est := a.est[l]; est != nil {
+			if est.Failed(e.Engine.Now()) {
+				// Samples stopped arriving: the link is down (§6.1's
+				// rapid failure detection). Routing and rate control see
+				// zero capacity.
+				return 0
+			}
+			if v := est.Estimate(); v > 0 {
+				return v
+			}
+		}
+	}
+	return e.Net.Link(l).Capacity
+}
+
+// dEstimate returns the estimated d_l = 1/ĉ_l (+Inf treated as a huge
+// price on dead links).
+func (e *Emulation) dEstimate(l graph.LinkID) float64 {
+	c := e.linkEstimate(l)
+	if c <= 0 {
+		return 1e9
+	}
+	return 1 / c
+}

@@ -1,0 +1,533 @@
+package node
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/congestion"
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/wire"
+)
+
+// TrafficKind selects the application driving a flow.
+type TrafficKind int
+
+// Traffic kinds.
+const (
+	// TrafficSaturated models a saturated UDP iperf source.
+	TrafficSaturated TrafficKind = iota
+	// TrafficFile models a file download of FileBytes.
+	TrafficFile
+	// TrafficExternal is pushed by an external layer (e.g. the mini-TCP
+	// of package transport) via Push.
+	TrafficExternal
+)
+
+// ErrOverRate is returned by Push when the congestion controller's token
+// bucket is empty: the rate from the layers above exceeds the flow's
+// allocation, so the packet is dropped (TCP perceives this as congestion,
+// §6.4).
+var ErrOverRate = errors.New("node: send rate above congestion-control allocation")
+
+// FlowSpec configures AddFlow.
+type FlowSpec struct {
+	Src, Dst graph.NodeID
+	// Routes are the preselected routes from the routing protocol.
+	Routes []graph.Path
+	Kind   TrafficKind
+	// FileBytes is the download size for TrafficFile.
+	FileBytes int64
+	// Utility defaults to proportional fairness.
+	Utility congestion.Utility
+	// TCP marks the flow as TCP for the §6.4 δ signalling.
+	TCP bool
+}
+
+// Flow is the source-side state of one EMPoWER flow.
+type Flow struct {
+	ID       uint16
+	Src, Dst graph.NodeID
+	spec     FlowSpec
+
+	em    *Emulation
+	agent *Agent
+
+	routes    []graph.Path
+	ifaceIDs  [][]wire.InterfaceID
+	firstLink []graph.LinkID
+
+	// Congestion-control state (proximal multipath controller).
+	x, xbar []float64
+	lastQR  []float64
+	tuner   *congestion.AlphaTuner
+	util    congestion.Utility
+
+	// Token bucket shaping at rate Σx (bits), with a small queue ahead
+	// of the drop decision to absorb transport bursts.
+	tokens     float64
+	lastRefil  float64
+	shapeQ     []shapedPkt
+	drainTimer interface{ Cancel() }
+
+	seq      uint32
+	sentBits float64
+	// File-transfer accounting (TrafficFile): downloads are reliable —
+	// the source keeps sending until the destination has confirmed
+	// FileBytes of payload through the 100 ms acknowledgements (lost
+	// packets are covered by fresh ones, as a reliable transport would).
+	sentPayload    int64
+	confirmedBytes int64
+	active         bool
+	sendTimer      interface{ Cancel() }
+
+	// RouteSentBits tracks per-route injected bits (Figure 9's
+	// "rate sent on Route i" series).
+	RouteSentBits []float64
+	rateLog       *seriesLog
+	routeLogs     []*seriesLog
+}
+
+// AddFlow registers a flow and starts its traffic at virtual time
+// startAt.
+func (e *Emulation) AddFlow(spec FlowSpec, startAt float64) (*Flow, error) {
+	if len(spec.Routes) == 0 {
+		return nil, fmt.Errorf("node: flow needs at least one route")
+	}
+	f := &Flow{
+		ID:     uint16(len(e.flows) + 1),
+		Src:    spec.Src,
+		Dst:    spec.Dst,
+		spec:   spec,
+		em:     e,
+		agent:  e.Agents[spec.Src],
+		routes: spec.Routes,
+		util:   spec.Utility,
+	}
+	if f.util == nil {
+		f.util = congestion.ProportionalFairness{}
+	}
+	longest := 0
+	for _, r := range spec.Routes {
+		if err := e.Net.ValidatePath(r, spec.Src, spec.Dst); err != nil {
+			return nil, fmt.Errorf("node: flow route invalid: %w", err)
+		}
+		if len(r) > wire.MaxHops {
+			return nil, fmt.Errorf("node: route longer than %d hops", wire.MaxHops)
+		}
+		if len(r) > longest {
+			longest = len(r)
+		}
+		ids := make([]wire.InterfaceID, len(r))
+		for i, l := range r {
+			link := e.Net.Link(l)
+			ids[i] = wire.HashInterface(link.To, link.Tech)
+		}
+		f.ifaceIDs = append(f.ifaceIDs, ids)
+		f.firstLink = append(f.firstLink, r[0])
+	}
+	n := len(spec.Routes)
+	f.x = make([]float64, n)
+	f.xbar = make([]float64, n)
+	f.lastQR = make([]float64, n)
+	f.RouteSentBits = make([]float64, n)
+	f.routeLogs = make([]*seriesLog, n)
+	for i := range f.routeLogs {
+		f.routeLogs[i] = newSeriesLog()
+	}
+	f.rateLog = newSeriesLog()
+	f.seedRates()
+	f.tuner = congestion.NewAlphaTuner(e.cfg.flowAlphaBase(), n, longest)
+	e.flows = append(e.flows, f)
+	f.agent.source[f.ID] = f
+	if spec.TCP {
+		f.agent.tcpSeen = true
+	}
+	e.Engine.At(startAt, f.start)
+	return f, nil
+}
+
+func (f *Flow) start() {
+	f.active = true
+	f.lastRefil = f.em.Engine.Now()
+	f.scheduleNext()
+}
+
+// Stop halts the flow's traffic.
+func (f *Flow) Stop() {
+	f.active = false
+	if f.sendTimer != nil {
+		f.sendTimer.Cancel()
+	}
+}
+
+// Rates returns the current per-route congestion-control rates (Mbps).
+func (f *Flow) Rates() []float64 { return append([]float64(nil), f.x...) }
+
+// TotalRate returns Σ_r x_r (Mbps).
+func (f *Flow) TotalRate() float64 {
+	var s float64
+	for _, v := range f.x {
+		s += v
+	}
+	return s
+}
+
+// Routes returns the flow's routes.
+func (f *Flow) Routes() []graph.Path { return f.routes }
+
+// Done reports whether a file flow's payload has been confirmed
+// delivered in full.
+func (f *Flow) Done() bool {
+	return f.spec.Kind == TrafficFile && f.confirmedBytes >= f.spec.FileBytes
+}
+
+// fileSendable reports whether a file flow should still emit packets: the
+// transfer is reliable, so sending continues (covering losses with fresh
+// payload) until the destination confirmed the full file.
+func (f *Flow) fileSendable() bool {
+	if f.spec.Kind != TrafficFile {
+		return true
+	}
+	return f.confirmedBytes < f.spec.FileBytes
+}
+
+// scheduleNext arms the next packet transmission for self-clocked
+// sources.
+func (f *Flow) scheduleNext() {
+	if !f.active || f.spec.Kind == TrafficExternal {
+		return
+	}
+	if !f.fileSendable() {
+		return
+	}
+	pktBits := float64(f.em.cfg.packetBytes()) * 8
+	var gap float64
+	if f.em.cfg.DisableCC {
+		// Without congestion control the source keeps its first hops
+		// backlogged: inject as fast as the MAC drains (poll at a fine
+		// interval and top the queues up).
+		gap = 0.0005
+	} else {
+		rate := f.TotalRate() * 1e6 // bits per second
+		if rate < 1e4 {
+			rate = 1e4
+		}
+		gap = pktBits / rate
+	}
+	f.sendTimer = f.em.Engine.Schedule(gap, func() {
+		f.emitOne()
+		f.scheduleNext()
+	})
+}
+
+// emitOne sends one packet (or tops up queues in w/o-CC mode).
+func (f *Flow) emitOne() {
+	if !f.active {
+		return
+	}
+	if f.em.cfg.DisableCC {
+		// Keep up to 4 packets queued per route's first hop.
+		for r := range f.routes {
+			for f.em.MAC.QueueLen(f.firstLink[r]) < 4 {
+				if !f.fileSendable() {
+					return
+				}
+				f.sendPacket(r, f.em.cfg.packetBytes(), nil)
+			}
+		}
+		return
+	}
+	if !f.fileSendable() {
+		return
+	}
+	r := f.pickRoute()
+	f.sendPacket(r, f.em.cfg.packetBytes(), nil)
+}
+
+// pickRoute samples a route with probability proportional to x_r (§6.1:
+// "each packet is sent over route r with a probability proportional to
+// the rate x_r").
+func (f *Flow) pickRoute() int {
+	total := f.TotalRate()
+	if total <= 0 {
+		return 0
+	}
+	u := f.em.rng.Float64() * total
+	for i, v := range f.x {
+		u -= v
+		if u <= 0 {
+			return i
+		}
+	}
+	return len(f.x) - 1
+}
+
+// shapedPkt is a packet waiting for tokens in the shaping queue.
+type shapedPkt struct {
+	bytes int
+	meta  interface{}
+}
+
+// shapeQueueLimit bounds the shaping queue ahead of the congestion
+// controller's drop decision (packets).
+const shapeQueueLimit = 30
+
+// Push injects an externally produced packet (TrafficExternal flows, e.g.
+// TCP segments). The congestion controller shapes with a token bucket at
+// rate Σx; a short queue absorbs transport bursts, and packets beyond it
+// are dropped with ErrOverRate (which TCP perceives as congestion, §6.4).
+func (f *Flow) Push(payloadBytes int, meta interface{}) error {
+	if !f.active {
+		return errors.New("node: flow not active")
+	}
+	if !f.em.cfg.DisableCC {
+		f.refillTokens()
+		need := float64(payloadBytes) * 8
+		if len(f.shapeQ) > 0 || f.tokens < need {
+			if len(f.shapeQ) >= shapeQueueLimit {
+				return ErrOverRate
+			}
+			f.shapeQ = append(f.shapeQ, shapedPkt{payloadBytes, meta})
+			f.armDrain()
+			return nil
+		}
+		f.tokens -= need
+	}
+	f.sendPacket(f.pickRoute(), payloadBytes, meta)
+	return nil
+}
+
+// armDrain schedules the shaping queue to drain when enough tokens have
+// accumulated for its head packet.
+func (f *Flow) armDrain() {
+	if f.drainTimer != nil || len(f.shapeQ) == 0 {
+		return
+	}
+	need := float64(f.shapeQ[0].bytes) * 8
+	rate := f.TotalRate() * 1e6
+	if rate < 1e4 {
+		rate = 1e4
+	}
+	wait := (need - f.tokens) / rate
+	// Floor the wait at 0.1 ms: a float-precision-zero wait would respin
+	// the drain at the same virtual instant forever.
+	if wait < 1e-4 {
+		wait = 1e-4
+	}
+	f.drainTimer = f.em.Engine.Schedule(wait, f.drainShaped)
+}
+
+func (f *Flow) drainShaped() {
+	f.drainTimer = nil
+	if !f.active {
+		f.shapeQ = nil
+		return
+	}
+	f.refillTokens()
+	for len(f.shapeQ) > 0 {
+		p := f.shapeQ[0]
+		need := float64(p.bytes) * 8
+		if f.tokens < need {
+			break
+		}
+		f.tokens -= need
+		f.shapeQ = f.shapeQ[1:]
+		f.sendPacket(f.pickRoute(), p.bytes, p.meta)
+	}
+	f.armDrain()
+}
+
+func (f *Flow) refillTokens() {
+	now := f.em.Engine.Now()
+	dt := now - f.lastRefil
+	if dt <= 0 {
+		return
+	}
+	f.lastRefil = now
+	f.tokens += f.TotalRate() * 1e6 * dt
+	// Bucket depth: 100 ms worth of traffic (one ack interval).
+	max := f.TotalRate() * 1e6 * 0.1
+	if max < 8*12000 {
+		max = 8 * 12000
+	}
+	if f.tokens > max {
+		f.tokens = max
+	}
+}
+
+// sendPacket builds and transmits one data frame on route r.
+func (f *Flow) sendPacket(r int, payloadBytes int, meta interface{}) {
+	df := &wire.DataFrame{
+		Src:        f.Src,
+		Dst:        f.Dst,
+		FlowID:     f.ID,
+		RouteIdx:   uint8(r),
+		Hop:        0,
+		SentAt:     f.em.Engine.Now(),
+		PayloadLen: uint16(payloadBytes),
+	}
+	df.Header.Seq = f.seq
+	f.seq++
+	if err := df.Header.SetRoute(f.ifaceIDs[r]); err != nil {
+		panic(err) // routes validated at AddFlow
+	}
+	if meta != nil {
+		df.SentAt = f.em.Engine.Now()
+	}
+	f.metaStash(df, meta)
+	first := f.firstLink[r]
+	f.agent.addPrice(first, &df.Header)
+	bits := frameBits(df)
+	if f.agent.sendOnLink(first, bits, df) {
+		f.sentBits += bits
+		f.sentPayload += int64(payloadBytes)
+		f.RouteSentBits[r] += bits
+		f.routeLogs[r].add(f.em.Engine.Now(), bits)
+		f.rateLog.add(f.em.Engine.Now(), bits)
+	}
+}
+
+// seedRates warm-starts the per-route rates at 85 %% of the sequential
+// residual achievable rate R(P) (the §3.2 exploration-tree loading the
+// source computed during route selection), floored at the configured
+// initial rate. Warm starting reproduces the paper's behaviour of
+// reaching near-target rates within seconds (Figure 9/10-right); the
+// controller then trims against the measured prices.
+func (f *Flow) seedRates() {
+	g := f.em.Net
+	for i, p := range f.routes {
+		r := routingRate(g, p)
+		x := 0.85 * r
+		if x < f.em.cfg.initialRate() {
+			x = f.em.cfg.initialRate()
+		}
+		f.x[i] = x
+		f.xbar[i] = x
+		if r > 0 {
+			g = routingUpdate(g, p)
+		}
+	}
+}
+
+// metaStash attaches transport metadata to the frame (carried out of band
+// of the binary encoding, as payload contents).
+func (f *Flow) metaStash(df *wire.DataFrame, meta interface{}) {
+	if meta != nil {
+		metaTable[df] = meta
+	}
+}
+
+// metaTable carries opaque payload metadata next to frames. Frames are
+// short-lived; entries are removed on consumption.
+var metaTable = map[*wire.DataFrame]interface{}{}
+
+func takeMeta(df *wire.DataFrame) interface{} {
+	m, ok := metaTable[df]
+	if ok {
+		delete(metaTable, df)
+	}
+	return m
+}
+
+// dropMeta releases a dropped frame's metadata entry.
+func dropMeta(df *wire.DataFrame) { delete(metaTable, df) }
+
+// onAck applies the §4.3 proximal update per acknowledged route and
+// advances the reliable-transfer confirmation counter.
+func (f *Flow) onAck(ack *wire.AckFrame) {
+	for _, ra := range ack.Routes {
+		f.confirmedBytes += int64(ra.Delivered)
+	}
+	if f.em.cfg.DisableCC {
+		return
+	}
+	alpha := f.tuner.Alpha()
+	scale := f.em.cfg.utilityScale()
+	total := f.TotalRate()
+	for _, ra := range ack.Routes {
+		r := int(ra.RouteIdx)
+		if r >= len(f.x) {
+			continue
+		}
+		q := ra.QR
+		f.lastQR[r] = q
+		inner := f.xbar[r] + scale*(f.util.Prime(total)-q)
+		if inner < 0 {
+			inner = 0
+		}
+		nx := (1-alpha)*f.x[r] + alpha*inner
+		// Cap at the route's estimated bottleneck to suppress transients.
+		if cap := f.routeCap(r); nx > cap {
+			nx = cap
+		}
+		f.xbar[r] = (1-alpha)*f.xbar[r] + alpha*f.x[r]
+		f.x[r] = nx
+	}
+	f.tuner.Observe(f.TotalRate())
+}
+
+func (f *Flow) routeCap(r int) float64 {
+	cap := math.Inf(1)
+	for _, l := range f.routes[r] {
+		if c := f.em.linkEstimate(l); c < cap {
+			cap = c
+		}
+	}
+	return cap
+}
+
+// SentRateSeries returns the injected rate (Mbps) in bins of binSeconds.
+func (f *Flow) SentRateSeries(binSeconds float64) ([]float64, []float64) {
+	return f.rateLog.series(binSeconds)
+}
+
+// RouteRateSeries returns the per-route injected rate series.
+func (f *Flow) RouteRateSeries(r int, binSeconds float64) ([]float64, []float64) {
+	return f.routeLogs[r].series(binSeconds)
+}
+
+// seriesLog accumulates (time, bits) points for rate series.
+type seriesLog struct {
+	times []float64
+	bits  []float64
+}
+
+func newSeriesLog() *seriesLog { return &seriesLog{} }
+
+func (s *seriesLog) add(t, b float64) {
+	s.times = append(s.times, t)
+	s.bits = append(s.bits, b)
+}
+
+// series bins the log into rates: returns bin midpoints (s) and rates
+// (Mbps).
+func (s *seriesLog) series(bin float64) ([]float64, []float64) {
+	if len(s.times) == 0 || bin <= 0 {
+		return nil, nil
+	}
+	end := s.times[len(s.times)-1]
+	n := int(end/bin) + 1
+	sums := make([]float64, n)
+	for i, t := range s.times {
+		idx := int(t / bin)
+		if idx >= n {
+			idx = n - 1
+		}
+		sums[idx] += s.bits[i]
+	}
+	ts := make([]float64, n)
+	rates := make([]float64, n)
+	for i := range sums {
+		ts[i] = (float64(i) + 0.5) * bin
+		rates[i] = sums[i] / bin / 1e6
+	}
+	return ts, rates
+}
+
+// routingRate and routingUpdate are thin aliases keeping the routing
+// dependency localized.
+func routingRate(g *graph.Network, p graph.Path) float64 { return routing.RatePath(g, p) }
+
+func routingUpdate(g *graph.Network, p graph.Path) *graph.Network { return routing.Update(g, p) }

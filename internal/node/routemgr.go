@@ -1,0 +1,167 @@
+package node
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/congestion"
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/wire"
+)
+
+// ErrNoRoutes is returned by SetRoutes for an empty route set.
+var ErrNoRoutes = errors.New("node: flow needs at least one route")
+
+// RouteManager implements the route-maintenance policy of §3.2: "the
+// routes need to be recomputed only when there is a link failure or a
+// large capacity variation, which occurs infrequently". It periodically
+// rebuilds the source's view of the network from the capacity estimates
+// (on the real system these are disseminated link-state style; here the
+// estimates live at each agent) and recomputes the multipath combination;
+// when a route died or the achievable total moved by more than the
+// threshold, the flow's routes are swapped live.
+type RouteManager struct {
+	em   *Emulation
+	flow *Flow
+	cfg  routing.Config
+
+	// Threshold is the relative change of the combination total that
+	// triggers a reroute (default 0.3).
+	Threshold float64
+	// Interval is the check period in seconds (default 2; route checks
+	// are cheap relative to their ~minutes-scale trigger frequency).
+	Interval float64
+
+	// Reroutes counts route swaps (for tests and logs).
+	Reroutes int
+
+	lastTotal float64
+	periodic  interface{ Stop() }
+}
+
+// ManageRoutes starts periodic route maintenance for a flow.
+func (e *Emulation) ManageRoutes(f *Flow, cfg routing.Config) *RouteManager {
+	m := &RouteManager{em: e, flow: f, cfg: cfg, Threshold: 0.3, Interval: 2}
+	m.lastTotal = m.currentTotal(e.EstimatedNetwork())
+	m.periodic = e.Engine.Every(m.Interval, m.check)
+	return m
+}
+
+// Stop ends maintenance.
+func (m *RouteManager) Stop() { m.periodic.Stop() }
+
+// EstimatedNetwork assembles the routing view of the network from the
+// per-agent capacity estimates: the capacities every EMPoWER node would
+// advertise in its link state. Failed links appear with zero capacity.
+func (e *Emulation) EstimatedNetwork() *graph.Network {
+	est := e.Net.Clone()
+	for l := 0; l < est.NumLinks(); l++ {
+		est.Link(graph.LinkID(l)).Capacity = e.linkEstimate(graph.LinkID(l))
+	}
+	return est
+}
+
+// currentTotal evaluates the flow's current routes on a network view:
+// the combination total of loading each route in sequence on the
+// residual graph (the §3.2 accounting).
+func (m *RouteManager) currentTotal(view *graph.Network) float64 {
+	g := view
+	var total float64
+	for _, p := range m.flow.routes {
+		r := routing.RatePath(g, p)
+		if r <= 0 {
+			continue
+		}
+		total += r
+		g = routing.Update(g, p)
+	}
+	return total
+}
+
+// check runs one maintenance round.
+func (m *RouteManager) check() {
+	if !m.flow.active {
+		return
+	}
+	view := m.em.EstimatedNetwork()
+	cur := m.currentTotal(view)
+	dead := false
+	for _, p := range m.flow.routes {
+		if routing.RatePath(view, p) <= 0 {
+			dead = true
+			break
+		}
+	}
+	if !dead && m.lastTotal > 0 {
+		rel := math.Abs(cur-m.lastTotal) / m.lastTotal
+		if rel < m.Threshold {
+			return // no large variation: keep the routes (the paper's policy)
+		}
+	}
+	comb := routing.Multipath(view, m.flow.Src, m.flow.Dst, m.cfg)
+	if len(comb.Paths) == 0 {
+		return // nothing better known; keep limping
+	}
+	if !dead && comb.Total <= cur*(1+m.Threshold/2) {
+		// A variation occurred but the recomputed routes are not
+		// materially better; avoid churning.
+		m.lastTotal = cur
+		return
+	}
+	if err := m.flow.SetRoutes(comb.Paths); err != nil {
+		return
+	}
+	m.Reroutes++
+	m.lastTotal = comb.Total
+}
+
+// SetRoutes swaps the flow's route set live: congestion-control state is
+// re-seeded (the controller reconverges within tens of slots) and the
+// sequence space continues, so the destination's reordering is
+// unaffected. Routes longer than the header limit are rejected.
+func (f *Flow) SetRoutes(routes []graph.Path) error {
+	if len(routes) == 0 {
+		return ErrNoRoutes
+	}
+	var ifaceIDs [][]wire.InterfaceID
+	var firsts []graph.LinkID
+	for _, r := range routes {
+		if err := f.em.Net.ValidatePath(r, f.Src, f.Dst); err != nil {
+			return err
+		}
+		if len(r) > wire.MaxHops {
+			return wire.ErrRouteTooLong
+		}
+		ids := make([]wire.InterfaceID, len(r))
+		for i, l := range r {
+			link := f.em.Net.Link(l)
+			ids[i] = wire.HashInterface(link.To, link.Tech)
+		}
+		ifaceIDs = append(ifaceIDs, ids)
+		firsts = append(firsts, r[0])
+	}
+	f.routes = append([]graph.Path(nil), routes...)
+	f.ifaceIDs = ifaceIDs
+	f.firstLink = firsts
+	n := len(routes)
+	f.x = make([]float64, n)
+	f.xbar = make([]float64, n)
+	f.lastQR = make([]float64, n)
+	f.RouteSentBits = make([]float64, n)
+	f.routeLogs = make([]*seriesLog, n)
+	for i := range f.routeLogs {
+		f.routeLogs[i] = newSeriesLog()
+	}
+	for i := range f.x {
+		f.x[i] = f.em.cfg.initialRate()
+	}
+	longest := 0
+	for _, r := range routes {
+		if len(r) > longest {
+			longest = len(r)
+		}
+	}
+	f.tuner = congestion.NewAlphaTuner(f.em.cfg.flowAlphaBase(), n, longest)
+	return nil
+}

@@ -1,0 +1,292 @@
+package node
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/wire"
+)
+
+// DeliverFunc observes in-order application deliveries at a flow's
+// destination (seq is the layer-2.5 sequence number; meta is the opaque
+// transport metadata attached by Flow.Push).
+type DeliverFunc func(seq uint32, payloadBytes int, meta interface{})
+
+// Sink is the destination-side state of one flow: per-route price and
+// sequence tracking, the reordering buffer, loss detection, delay
+// equalization, and acknowledgement generation.
+type Sink struct {
+	agent  *Agent
+	src    graph.NodeID
+	flowID uint16
+
+	// Per-route state, indexed by RouteIdx.
+	qr        map[uint8]float64
+	maxSeq    map[uint8]uint32
+	delivered map[uint8]uint32 // payload bytes since last ack
+	seenRoute map[uint8]bool
+	lastSeen  map[uint8]float64 // last delivery time per route
+
+	// Reordering.
+	nextSeq uint32
+	buffer  map[uint32]*bufEntry
+	// Loss counters.
+	Lost int
+
+	// Delay equalization (§6.4).
+	delayEWMA map[uint8]float64
+
+	// Delivery accounting.
+	TotalBytes   int64
+	TotalPackets int
+	log          *seriesLog
+
+	// OnDeliver, when set, receives in-order payloads (TCP receiver hook).
+	OnDeliver DeliverFunc
+
+	// reverse caches the ack return route.
+	reverse    graph.Path
+	reverseIDs []wire.InterfaceID
+	reverseAt  float64
+	firstSeen  float64
+	lastData   float64
+}
+
+type bufEntry struct {
+	frame *wire.DataFrame
+	meta  interface{}
+}
+
+func newSink(a *Agent, src graph.NodeID, flowID uint16) *Sink {
+	return &Sink{
+		agent:     a,
+		src:       src,
+		flowID:    flowID,
+		qr:        map[uint8]float64{},
+		maxSeq:    map[uint8]uint32{},
+		delivered: map[uint8]uint32{},
+		seenRoute: map[uint8]bool{},
+		lastSeen:  map[uint8]float64{},
+		buffer:    map[uint32]*bufEntry{},
+		delayEWMA: map[uint8]float64{},
+		log:       newSeriesLog(),
+		firstSeen: a.em.Engine.Now(),
+		lastData:  a.em.Engine.Now(),
+	}
+}
+
+// Src returns the flow's source node.
+func (s *Sink) Src() graph.NodeID { return s.src }
+
+// LastDeliveryAt returns the virtual time of the most recent data
+// arrival for this flow.
+func (s *Sink) LastDeliveryAt() float64 { return s.lastData }
+
+// IdleFor returns how long the flow has been silent at time now.
+func (s *Sink) IdleFor(now float64) float64 { return now - s.lastData }
+
+// FlowID returns the flow identifier.
+func (s *Sink) FlowID() uint16 { return s.flowID }
+
+// onData ingests a data frame addressed to this node.
+func (s *Sink) onData(f *wire.DataFrame) {
+	now := s.agent.em.Engine.Now()
+	s.lastData = now
+	r := f.RouteIdx
+	s.seenRoute[r] = true
+	s.lastSeen[r] = now
+	s.qr[r] = f.Header.QR
+	if f.Header.Seq > s.maxSeq[r] || !s.seenRoute[r] {
+		s.maxSeq[r] = f.Header.Seq
+	}
+	s.delivered[r] += uint32(f.PayloadLen)
+
+	meta := takeMeta(f)
+
+	// Delay equalization: delay fast-route packets so that all routes
+	// show approximately the slowest route's delay (§6.4), reducing TCP
+	// reordering timeouts.
+	if s.agent.em.cfg.DelayEqualize {
+		d := now - f.SentAt
+		if old, ok := s.delayEWMA[r]; ok {
+			s.delayEWMA[r] = 0.9*old + 0.1*d
+		} else {
+			s.delayEWMA[r] = d
+		}
+		target := 0.0
+		for _, v := range s.delayEWMA {
+			if v > target {
+				target = v
+			}
+		}
+		if hold := target - s.delayEWMA[r]; hold > 1e-6 {
+			frame := f
+			s.agent.em.Engine.Schedule(hold, func() { s.admit(frame, meta) })
+			return
+		}
+	}
+	s.admit(f, meta)
+}
+
+// admit places the frame into the reorder buffer and flushes whatever is
+// now deliverable, applying the paper's loss rule: a missing sequence
+// number S is declared lost (and skipped) once every route has delivered
+// a packet with sequence greater than S.
+func (s *Sink) admit(f *wire.DataFrame, meta interface{}) {
+	if f.Header.Seq >= s.nextSeq {
+		s.buffer[f.Header.Seq] = &bufEntry{frame: f, meta: meta}
+	}
+	s.flush()
+}
+
+func (s *Sink) flush() {
+	for {
+		if e, ok := s.buffer[s.nextSeq]; ok {
+			s.deliver(e)
+			delete(s.buffer, s.nextSeq)
+			s.nextSeq++
+			continue
+		}
+		// nextSeq missing: lost if all active routes are past it.
+		if len(s.seenRoute) == 0 || !s.allRoutesPast(s.nextSeq) {
+			return
+		}
+		s.Lost++
+		s.nextSeq++
+	}
+}
+
+// routeStaleAfter excludes a route from the loss rule once it has been
+// silent this long: a failed route would otherwise stall reordering
+// forever (the source abandons dead routes within ~1 s via capacity
+// estimation, so its sequence numbers never advance again).
+const routeStaleAfter = 1.0
+
+func (s *Sink) allRoutesPast(seq uint32) bool {
+	now := s.agent.em.Engine.Now()
+	live := 0
+	for r := range s.seenRoute {
+		if now-s.lastSeen[r] > routeStaleAfter {
+			continue // stale route: ignore its frozen sequence state
+		}
+		live++
+		if s.maxSeq[r] <= seq {
+			return false
+		}
+	}
+	return live > 0
+}
+
+func (s *Sink) deliver(e *bufEntry) {
+	now := s.agent.em.Engine.Now()
+	bytes := int(e.frame.PayloadLen)
+	s.TotalBytes += int64(bytes)
+	s.TotalPackets++
+	s.log.add(now, float64(bytes)*8)
+	if s.OnDeliver != nil {
+		s.OnDeliver(e.frame.Header.Seq, bytes, e.meta)
+	}
+}
+
+// RateSeries returns the delivered goodput (Mbps) in bins of binSeconds.
+func (s *Sink) RateSeries(binSeconds float64) ([]float64, []float64) {
+	return s.log.series(binSeconds)
+}
+
+// MeanRate returns average goodput (Mbps) between two absolute times.
+func (s *Sink) MeanRate(from, to float64) float64 {
+	ts, rates := s.log.series(0.5)
+	if len(ts) == 0 || to <= from {
+		return 0
+	}
+	var sum float64
+	var n int
+	for i, t := range ts {
+		if t >= from && t < to {
+			sum += rates[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// ackTick emits the periodic acknowledgement (at most every ack interval)
+// with per-route q_r, max sequence and delivered byte counts, sent to the
+// flow source over the best reverse single path with priority (small
+// high-priority frames in the paper; small frames here).
+func (s *Sink) ackTick() {
+	if len(s.seenRoute) == 0 {
+		return
+	}
+	now := s.agent.em.Engine.Now()
+	// Stop acking a dead flow after 2 s of silence.
+	if now-s.lastData > 2 {
+		return
+	}
+	ack := &wire.AckFrame{
+		Src:    s.src,
+		Dst:    s.agent.id,
+		FlowID: s.flowID,
+		SentAt: now,
+	}
+	var idxs []int
+	for r := range s.seenRoute {
+		idxs = append(idxs, int(r))
+	}
+	sort.Ints(idxs)
+	for _, ri := range idxs {
+		r := uint8(ri)
+		ack.Routes = append(ack.Routes, wire.RouteAck{
+			RouteIdx:  r,
+			QR:        s.qr[r],
+			MaxSeq:    s.maxSeq[r],
+			Delivered: s.delivered[r],
+		})
+		s.delivered[r] = 0
+	}
+	s.sendAck(ack)
+}
+
+// sendAck transmits the ack over the cached best reverse path, refreshing
+// the cache every second. The ack travels hop-by-hop through the MAC; the
+// final hop's agent dispatches it to the flow.
+func (s *Sink) sendAck(ack *wire.AckFrame) {
+	now := s.agent.em.Engine.Now()
+	if s.reverse == nil || now-s.reverseAt > 1 {
+		s.reverse = routing.SinglePath(s.agent.em.Net, s.agent.id, s.src, routing.DefaultConfig())
+		s.reverseAt = now
+	}
+	if s.reverse == nil {
+		return // no way back; the source will coast on old prices
+	}
+	s.forwardAck(ack, s.reverse, 0)
+}
+
+// forwardAck sends the ack over hop h of the reverse path and chains to
+// the next hop upon MAC delivery. Acknowledgements ride the same MAC but
+// are tiny; the paper gives them prioritized queues, which our FIFO MAC
+// approximates by their negligible airtime.
+func (s *Sink) forwardAck(ack *wire.AckFrame, path graph.Path, hop int) {
+	if hop >= len(path) {
+		s.agent.em.Agents[s.src].onAck(ack)
+		return
+	}
+	l := path[hop]
+	em := s.agent.em
+	from := em.Net.Link(l).From
+	bits := ackBits(ack)
+	// Chain delivery through a wrapper payload.
+	em.Agents[from].sendOnLink(l, bits, &ackHop{ack: ack, sink: s, path: path, hop: hop})
+}
+
+// ackHop is the MAC payload that chains an ack along its reverse path.
+type ackHop struct {
+	ack  *wire.AckFrame
+	sink *Sink
+	path graph.Path
+	hop  int
+}

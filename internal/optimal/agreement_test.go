@@ -1,0 +1,129 @@
+package optimal
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/congestion"
+	"repro/internal/graph"
+	"repro/internal/routing"
+)
+
+// randomHybrid builds a small random hybrid network for agreement tests.
+func randomHybrid(seed int64) (*graph.Network, graph.NodeID, graph.NodeID) {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(nil)
+	n := 4 + rng.Intn(3)
+	ids := make([]graph.NodeID, n)
+	plc := make([]bool, n)
+	for i := 0; i < n; i++ {
+		plc[i] = rng.Float64() < 0.7
+		techs := []graph.Tech{graph.TechWiFi}
+		if plc[i] {
+			techs = append(techs, graph.TechPLC)
+		}
+		ids[i] = b.AddNode("", float64(i), 0, techs...)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.6 {
+				b.AddDuplex(ids[i], ids[j], graph.TechWiFi, 5+rng.Float64()*60)
+			}
+			if plc[i] && plc[j] && rng.Float64() < 0.6 {
+				b.AddDuplex(ids[i], ids[j], graph.TechPLC, 5+rng.Float64()*60)
+			}
+		}
+	}
+	return b.Build(), ids[0], ids[n-1]
+}
+
+// TestControllerAgreesWithCentralizedOptimum is the keystone validation
+// of §4: the distributed controller run over ALL simple paths must reach
+// (a small neighborhood of) the centralized conservative optimum, since
+// both solve the same concave program under constraint (2).
+func TestControllerAgreesWithCentralizedOptimum(t *testing.T) {
+	agree, total := 0, 0
+	for seed := int64(0); seed < 12; seed++ {
+		net, src, dst := randomHybrid(seed)
+		paths := EnumeratePaths(net, src, dst, EnumerateOptions{MaxHops: 4, MaxPaths: 64})
+		if len(paths) == 0 {
+			continue
+		}
+		cons, err := ConservativeOpt(net, []FlowSpec{{Src: src, Dst: dst}},
+			Config{Enumerate: EnumerateOptions{MaxHops: 4, MaxPaths: 64}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cons.FlowRates[0] < 3 {
+			continue // weak flows: relative comparison too noisy
+		}
+		var routes []congestion.Route
+		for _, p := range paths {
+			routes = append(routes, congestion.Route{Links: p, Flow: 0})
+		}
+		ctrl, err := congestion.New(net, routes, congestion.Options{Alpha: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		traj := ctrl.Run(8000)
+		// Ergodic average of the last quarter.
+		var sum float64
+		tail := traj[len(traj)*3/4:]
+		for _, row := range tail {
+			sum += row[0]
+		}
+		got := sum / float64(len(tail))
+		total++
+		ratio := got / cons.FlowRates[0]
+		if ratio > 0.85 && ratio < 1.1 {
+			agree++
+		} else {
+			t.Logf("seed %d: controller %.2f vs conservative opt %.2f (ratio %.2f, %d paths)",
+				seed, got, cons.FlowRates[0], ratio, len(paths))
+		}
+	}
+	if total == 0 {
+		t.Skip("no usable instances")
+	}
+	if agree*10 < total*7 {
+		t.Errorf("controller agreed with the centralized optimum on only %d/%d instances", agree, total)
+	}
+	t.Logf("agreement on %d/%d instances", agree, total)
+}
+
+// TestSinglePathQualityVsBruteForce measures the §3.1 single-path
+// procedure against the brute-force best-R(P) path: the heuristic metric
+// may pick a slightly slower path, but across random instances it should
+// land within 75 % of the best single-path rate on average (the §5
+// finding that "the procedure succeeds in finding good routes").
+func TestSinglePathQualityVsBruteForce(t *testing.T) {
+	var ratioSum float64
+	n := 0
+	for seed := int64(100); seed < 130; seed++ {
+		net, src, dst := randomHybrid(seed)
+		best := 0.0
+		for _, p := range EnumeratePaths(net, src, dst, EnumerateOptions{MaxHops: 4, MaxPaths: 256}) {
+			if r := routing.RatePath(net, p); r > best {
+				best = r
+			}
+		}
+		if best <= 0 {
+			continue
+		}
+		sp := routing.SinglePath(net, src, dst, routing.DefaultConfig())
+		if sp == nil {
+			t.Errorf("seed %d: single-path found nothing but brute force did", seed)
+			continue
+		}
+		ratioSum += routing.RatePath(net, sp) / best
+		n++
+	}
+	if n == 0 {
+		t.Skip("no connected instances")
+	}
+	avg := ratioSum / float64(n)
+	if avg < 0.75 {
+		t.Errorf("single-path procedure achieves only %.0f%% of brute-force rate on average", avg*100)
+	}
+	t.Logf("single-path averages %.0f%% of the brute-force best rate over %d instances", avg*100, n)
+}

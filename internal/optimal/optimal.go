@@ -1,0 +1,168 @@
+package optimal
+
+import (
+	"math"
+
+	"repro/internal/congestion"
+	"repro/internal/graph"
+)
+
+// FlowSpec is a source-destination pair with an optional utility
+// (proportional fairness when nil).
+type FlowSpec struct {
+	Src, Dst graph.NodeID
+	Utility  congestion.Utility
+}
+
+// Config tunes the baselines.
+type Config struct {
+	Enumerate EnumerateOptions
+	Solver    SolveOptions
+	// Delta is the constraint margin (0 for the paper's baselines).
+	Delta float64
+}
+
+// Result reports a baseline's optimum.
+type Result struct {
+	// FlowRates is the optimal per-flow throughput (Mbps).
+	FlowRates []float64
+	// Utility is the optimal aggregate utility.
+	Utility float64
+	// Paths[f] are the enumerated paths of flow f (shared by both
+	// baselines for a given network).
+	Paths [][]graph.Path
+	// X[f][i] is the rate on Paths[f][i].
+	X [][]float64
+}
+
+// buildProblem enumerates paths for every flow and assembles the
+// constraint matrix rows produced by the given constraint generator.
+func buildProblem(net *graph.Network, flows []FlowSpec, cfg Config, conservative bool) (Problem, [][]graph.Path) {
+	allPaths := make([][]graph.Path, len(flows))
+	var routes []graph.Path
+	problem := Problem{Flows: make([][]int, len(flows))}
+	for f, spec := range flows {
+		paths := EnumeratePaths(net, spec.Src, spec.Dst, cfg.Enumerate)
+		allPaths[f] = paths
+		for _, p := range paths {
+			idx := len(routes)
+			routes = append(routes, p)
+			problem.Flows[f] = append(problem.Flows[f], idx)
+		}
+		problem.Utilities = append(problem.Utilities, spec.Utility)
+	}
+	problem.NumRoutes = len(routes)
+	problem.RateCap = make([]float64, len(routes))
+	for i, p := range routes {
+		cap := math.Inf(1)
+		for _, l := range p {
+			if c := net.Link(l).Capacity; c < cap {
+				cap = c
+			}
+		}
+		problem.RateCap[i] = cap
+	}
+
+	bound := 1 - cfg.Delta
+
+	// Incidence: which routes traverse each link, with multiplicity.
+	// Precomputing it makes constraint assembly linear in Σ|I_l| plus the
+	// incidence size instead of quadratic in routes × links.
+	routesOnLink := make([][]int, net.NumLinks())
+	for r, p := range routes {
+		for _, rl := range p {
+			routesOnLink[rl] = append(routesOnLink[rl], r)
+		}
+	}
+
+	if conservative {
+		// Constraint (2): for every link l,
+		// Σ_{l'∈I_l} d_{l'} Σ_{r∋l'} x_r ≤ 1−δ. Domains with identical
+		// membership produce identical rows; deduplicate them.
+		seen := map[string]bool{}
+		for l := 0; l < net.NumLinks(); l++ {
+			if net.Link(graph.LinkID(l)).Capacity <= 0 {
+				continue
+			}
+			coef := map[int]float64{}
+			key := make([]byte, 0, 64)
+			for _, lp := range net.Interference(graph.LinkID(l)) {
+				link := net.Link(lp)
+				if link.Capacity <= 0 {
+					continue
+				}
+				key = append(key, byte(lp>>8), byte(lp))
+				for _, r := range routesOnLink[lp] {
+					coef[r] += link.D()
+				}
+			}
+			if len(coef) == 0 || seen[string(key)] {
+				continue
+			}
+			seen[string(key)] = true
+			problem.Constraints = append(problem.Constraints, Constraint{Coef: coef, Bound: bound})
+		}
+	} else {
+		// Per-clique constraints: for every maximal clique Q of the
+		// conflict graph, Σ_{l∈Q} d_l Σ_{r∋l} x_r ≤ 1−δ. This is the
+		// capacity region of a perfect scheduler when the conflict graph
+		// is perfect (e.g. per-technology collision domains), and a tight
+		// outer bound otherwise.
+		cg := NewConflictGraph(net)
+		for _, clique := range cg.MaximalCliques() {
+			coef := map[int]float64{}
+			for _, l := range clique {
+				d := net.Link(graph.LinkID(l)).D()
+				for _, r := range routesOnLink[l] {
+					coef[r] += d
+				}
+			}
+			if len(coef) > 0 {
+				problem.Constraints = append(problem.Constraints, Constraint{Coef: coef, Bound: bound})
+			}
+		}
+	}
+	return problem, allPaths
+}
+
+func run(net *graph.Network, flows []FlowSpec, cfg Config, conservative bool) (Result, error) {
+	problem, allPaths := buildProblem(net, flows, cfg, conservative)
+	res := Result{Paths: allPaths, FlowRates: make([]float64, len(flows)), X: make([][]float64, len(flows))}
+	if problem.NumRoutes == 0 {
+		// No connectivity: all-zero rates.
+		for f := range flows {
+			u := flows[f].Utility
+			if u == nil {
+				u = congestion.ProportionalFairness{}
+			}
+			res.Utility += u.Value(0)
+		}
+		return res, nil
+	}
+	sol, err := Solve(problem, cfg.Solver)
+	if err != nil {
+		return Result{}, err
+	}
+	res.FlowRates = sol.FlowRates
+	res.Utility = sol.Utility
+	for f, idxs := range problem.Flows {
+		res.X[f] = make([]float64, len(idxs))
+		for i, r := range idxs {
+			res.X[f][i] = sol.X[r]
+		}
+	}
+	return res, nil
+}
+
+// Optimal computes the paper's "optimal" baseline: maximum aggregate
+// utility over all simple paths under the perfect-scheduler (per-clique)
+// capacity region.
+func Optimal(net *graph.Network, flows []FlowSpec, cfg Config) (Result, error) {
+	return run(net, flows, cfg, false)
+}
+
+// ConservativeOpt computes the paper's "conservative opt" baseline: the
+// optimum under EMPoWER's conservative interference constraint (2).
+func ConservativeOpt(net *graph.Network, flows []FlowSpec, cfg Config) (Result, error) {
+	return run(net, flows, cfg, true)
+}

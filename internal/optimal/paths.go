@@ -1,0 +1,78 @@
+// Package optimal implements the centralized baselines the paper compares
+// EMPoWER against (§5.2.2):
+//
+//   - "optimal": utility maximization over all simple paths under
+//     per-clique airtime constraints of the link conflict graph — the
+//     steady-state throughput of the backpressure scheme of Neely et al.
+//     with a perfect centralized scheduler (the clique bound is exact for
+//     the per-technology collision domains used in the evaluation);
+//   - "conservative opt": the same maximization under EMPoWER's
+//     conservative per-link interference constraint (2), which charges the
+//     whole interference domain of every link;
+//   - a time-slotted backpressure simulator (max-weight scheduling with
+//     utility-based flow control) used to reproduce the convergence-time
+//     comparison: backpressure needs thousands of slots where EMPoWER
+//     needs tens.
+package optimal
+
+import (
+	"repro/internal/graph"
+)
+
+// EnumerateOptions bounds the simple-path enumeration.
+type EnumerateOptions struct {
+	// MaxHops bounds the path length in links (default 6, the EMPoWER
+	// header limit).
+	MaxHops int
+	// MaxPaths stops the enumeration after this many paths (default 4096)
+	// as a safety valve on dense graphs.
+	MaxPaths int
+}
+
+func (o EnumerateOptions) maxHops() int {
+	if o.MaxHops <= 0 {
+		return 6
+	}
+	return o.MaxHops
+}
+
+func (o EnumerateOptions) maxPaths() int {
+	if o.MaxPaths <= 0 {
+		return 4096
+	}
+	return o.MaxPaths
+}
+
+// EnumeratePaths returns every simple (node-loopless) path from src to dst
+// over positive-capacity links, up to the option bounds, in DFS order.
+func EnumeratePaths(net *graph.Network, src, dst graph.NodeID, opts EnumerateOptions) []graph.Path {
+	var out []graph.Path
+	visited := make([]bool, net.NumNodes())
+	var cur graph.Path
+	var dfs func(u graph.NodeID)
+	dfs = func(u graph.NodeID) {
+		if len(out) >= opts.maxPaths() {
+			return
+		}
+		if u == dst {
+			out = append(out, append(graph.Path(nil), cur...))
+			return
+		}
+		if len(cur) >= opts.maxHops() {
+			return
+		}
+		visited[u] = true
+		for _, id := range net.Out(u) {
+			l := net.Link(id)
+			if l.Capacity <= 0 || visited[l.To] {
+				continue
+			}
+			cur = append(cur, id)
+			dfs(l.To)
+			cur = cur[:len(cur)-1]
+		}
+		visited[u] = false
+	}
+	dfs(src)
+	return out
+}

@@ -1,0 +1,285 @@
+package optimal
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/congestion"
+)
+
+// Constraint is one linear airtime constraint Σ_r coef_r · x_r ≤ Bound.
+type Constraint struct {
+	// Coef maps route index to its airtime coefficient in this
+	// constraint (a sum of d_l values).
+	Coef map[int]float64
+	// Bound is the right-hand side (1, or 1−δ with a margin).
+	Bound float64
+}
+
+// Problem is a concave network-utility maximization over route rates:
+//
+//	max Σ_f U_f(Σ_{r∈f} x_r)   s.t.  A x ≤ b,  0 ≤ x ≤ cap.
+type Problem struct {
+	// Flows maps each flow to the indices of its routes.
+	Flows [][]int
+	// Utilities gives each flow's utility (proportional fairness when nil).
+	Utilities []congestion.Utility
+	// Constraints are the linear airtime constraints.
+	Constraints []Constraint
+	// RateCap optionally caps each route's rate (bottleneck capacity);
+	// nil or +Inf entries mean uncapped. Caps only speed up convergence:
+	// a route can never carry more than its bottleneck.
+	RateCap []float64
+	// NumRoutes is the total number of routes.
+	NumRoutes int
+}
+
+// SolveOptions tunes the solver.
+type SolveOptions struct {
+	// Iters is the number of proximal/dual iterations. The default
+	// scales with the problem: 8000 plus 600·√routes (wide flows ramp
+	// slower under the per-route gain normalization), capped at 40000.
+	Iters int
+	// Step is the dual/primal step size (default 0.05).
+	Step float64
+	// Gain is the primal gain on (U' − q) (default 50; see
+	// congestion.Options.UtilityScale).
+	Gain float64
+}
+
+func (o SolveOptions) iters() int { return o.itersFor(1) }
+
+func (o SolveOptions) itersFor(routes int) int {
+	if o.Iters > 0 {
+		return o.Iters
+	}
+	n := 8000 + int(600*math.Sqrt(float64(routes)))
+	if n > 40000 {
+		n = 40000
+	}
+	return n
+}
+
+func (o SolveOptions) step() float64 {
+	if o.Step <= 0 {
+		return 0.05
+	}
+	return o.Step
+}
+
+func (o SolveOptions) gain() float64 {
+	if o.Gain <= 0 {
+		return 50
+	}
+	return o.Gain
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	// X is the per-route rate vector.
+	X []float64
+	// FlowRates is the per-flow total rate.
+	FlowRates []float64
+	// Utility is Σ_f U_f at the solution.
+	Utility float64
+	// MaxViolation is max_c ((Ax)_c − b_c), ≤ ~0 when feasible.
+	MaxViolation float64
+}
+
+// Solve maximizes the problem with a proximal primal update and dual
+// subgradient prices — the same fixed-point structure as the EMPoWER
+// controller, which for this concave program is the KKT point, i.e. the
+// global optimum. The final iterate is projected onto the feasible set by
+// uniform scaling if it slightly overshoots, so the reported rates are
+// always feasible.
+func Solve(p Problem, opts SolveOptions) (Solution, error) {
+	n := p.NumRoutes
+	if n == 0 {
+		return Solution{}, fmt.Errorf("optimal: no routes")
+	}
+	flowOf := make([]int, n)
+	for i := range flowOf {
+		flowOf[i] = -1
+	}
+	for f, rs := range p.Flows {
+		for _, r := range rs {
+			if r < 0 || r >= n {
+				return Solution{}, fmt.Errorf("optimal: route index %d out of range", r)
+			}
+			flowOf[r] = f
+		}
+	}
+	for r, f := range flowOf {
+		if f < 0 {
+			return Solution{}, fmt.Errorf("optimal: route %d belongs to no flow", r)
+		}
+	}
+	util := make([]congestion.Utility, len(p.Flows))
+	for f := range util {
+		if p.Utilities != nil && f < len(p.Utilities) && p.Utilities[f] != nil {
+			util[f] = p.Utilities[f]
+		} else {
+			util[f] = congestion.ProportionalFairness{}
+		}
+	}
+	cap := make([]float64, n)
+	for r := range cap {
+		cap[r] = math.Inf(1)
+		if p.RateCap != nil && r < len(p.RateCap) && p.RateCap[r] > 0 {
+			cap[r] = p.RateCap[r]
+		}
+	}
+
+	// Transpose the constraints for the price computation.
+	routeCons := make([][]int, n)     // route -> constraint indices
+	routeCoef := make([][]float64, n) // route -> coefficients
+	for c, con := range p.Constraints {
+		for r, coef := range con.Coef {
+			if r < 0 || r >= n {
+				return Solution{}, fmt.Errorf("optimal: constraint %d references route %d out of range", c, r)
+			}
+			routeCons[r] = append(routeCons[r], c)
+			routeCoef[r] = append(routeCoef[r], coef)
+		}
+	}
+
+	alpha, gain := opts.step(), opts.gain()
+	// With many routes per flow, every route initially sees the same
+	// positive (U' − q) term, so the aggregate primal gain grows with the
+	// route count and can overshoot before the duals price it. A mild
+	// square-root normalization tames wide flows without starving the
+	// narrow ones; the ergodic average below absorbs the residual
+	// oscillation either way.
+	perRouteGain := make([]float64, n)
+	for _, rs := range p.Flows {
+		g := gain / math.Sqrt(float64(len(rs)))
+		for _, r := range rs {
+			perRouteGain[r] = g
+		}
+	}
+	x := make([]float64, n)
+	xbar := make([]float64, n)
+	// Warm start: each route begins at an equal share of its flow's
+	// bottleneck budget. Starting above the optimum is cheap — the duals
+	// price overload within tens of iterations — while starting at zero
+	// costs a slow ramp on fast instances.
+	for _, rs := range p.Flows {
+		for _, r := range rs {
+			c := cap[r]
+			if math.IsInf(c, 1) {
+				c = 1000
+			}
+			x[r] = 0.6 * c / float64(len(rs))
+			xbar[r] = x[r]
+		}
+	}
+	lambda := make([]float64, len(p.Constraints))
+	usage := make([]float64, len(p.Constraints))
+	flowRate := make([]float64, len(p.Flows))
+	newX := make([]float64, n)
+	iters := opts.itersFor(n)
+	// Ergodic averaging over the last third of the run: with a fixed
+	// step the iterates hover around the optimizer, and the average is
+	// the reliable read-out.
+	avg := make([]float64, n)
+	avgFrom := iters * 2 / 3
+	avgCount := 0
+
+	for t := 0; t < iters; t++ {
+		// Constraint usages and dual update.
+		for c := range usage {
+			usage[c] = 0
+		}
+		for c, con := range p.Constraints {
+			var u float64
+			for r, coef := range con.Coef {
+				u += coef * x[r]
+			}
+			usage[c] = u
+			l := lambda[c] + alpha*(u-con.Bound)
+			if l < 0 {
+				l = 0
+			}
+			lambda[c] = l
+		}
+		// Flow totals.
+		for f := range flowRate {
+			flowRate[f] = 0
+		}
+		for r := 0; r < n; r++ {
+			flowRate[flowOf[r]] += x[r]
+		}
+		// Proximal primal update.
+		for r := 0; r < n; r++ {
+			var q float64
+			for i, c := range routeCons[r] {
+				q += lambda[c] * routeCoef[r][i]
+			}
+			f := flowOf[r]
+			inner := xbar[r] + perRouteGain[r]*(util[f].Prime(flowRate[f])-q)
+			if inner < 0 {
+				inner = 0
+			}
+			nx := (1-alpha)*x[r] + alpha*inner
+			if nx > cap[r] {
+				nx = cap[r]
+			}
+			newX[r] = nx
+		}
+		for r := 0; r < n; r++ {
+			xbar[r] = (1-alpha)*xbar[r] + alpha*x[r]
+		}
+		copy(x, newX)
+		if t >= avgFrom {
+			for r := 0; r < n; r++ {
+				avg[r] += x[r]
+			}
+			avgCount++
+		}
+	}
+	if avgCount > 0 {
+		for r := 0; r < n; r++ {
+			x[r] = avg[r] / float64(avgCount)
+		}
+	}
+
+	// Project onto feasibility by uniform scaling if needed.
+	worst := 0.0
+	for c, con := range p.Constraints {
+		var u float64
+		for r, coef := range con.Coef {
+			u += coef * x[r]
+		}
+		if con.Bound > 0 && u/con.Bound > worst {
+			worst = u / con.Bound
+		}
+		usage[c] = u
+	}
+	if worst > 1 {
+		for r := range x {
+			x[r] /= worst
+		}
+	}
+
+	sol := Solution{X: x, FlowRates: make([]float64, len(p.Flows))}
+	for r := 0; r < n; r++ {
+		sol.FlowRates[flowOf[r]] += x[r]
+	}
+	for f := range p.Flows {
+		sol.Utility += util[f].Value(sol.FlowRates[f])
+	}
+	sol.MaxViolation = math.Inf(-1)
+	for _, con := range p.Constraints {
+		var u float64
+		for r, coef := range con.Coef {
+			u += coef * x[r]
+		}
+		if v := u - con.Bound; v > sol.MaxViolation {
+			sol.MaxViolation = v
+		}
+	}
+	if len(p.Constraints) == 0 {
+		sol.MaxViolation = 0
+	}
+	return sol, nil
+}

@@ -1,0 +1,182 @@
+package routing
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// noTech marks the absence of an ingress technology (the path source).
+const noTech graph.Tech = -1
+
+// searchConstraints restricts a shortest-path search; used by Yen's
+// algorithm for spur-path computations.
+type searchConstraints struct {
+	bannedLinks map[graph.LinkID]bool
+	bannedNodes map[graph.NodeID]bool
+	// ingress is the technology of the link entering the search source
+	// (noTech when the source is the true path source). It determines the
+	// CSC applied to the first hop of the result.
+	ingress graph.Tech
+}
+
+// vstate is a vertex of the virtual interface graph: a node together with
+// the technology of the link used to enter it.
+type vstate struct {
+	node graph.NodeID
+	in   graph.Tech // noTech at the source
+}
+
+type pqItem struct {
+	state vstate
+	dist  float64
+	index int
+}
+
+type priorityQueue []*pqItem
+
+func (q priorityQueue) Len() int           { return len(q) }
+func (q priorityQueue) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q priorityQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i]; q[i].index = i; q[j].index = j }
+func (q *priorityQueue) Push(x interface{}) {
+	it := x.(*pqItem)
+	it.index = len(*q)
+	*q = append(*q, it)
+}
+func (q *priorityQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// dijkstra runs the single-path procedure of §3.1 on the virtual graph of
+// interfaces from src to dst, honoring the search constraints. It returns
+// the best path and its weight, or (nil, +Inf) if dst is unreachable.
+//
+// States are (node, ingress technology) pairs so that the channel-switching
+// cost — which depends on the ingress and egress technologies at each
+// intermediate node — is Markovian and Dijkstra applies. Link weights and
+// CSCs are non-negative, so the isotonicity requirement of §3.1 holds.
+func dijkstra(net *graph.Network, src, dst graph.NodeID, cfg Config, cons searchConstraints) (graph.Path, float64) {
+	dist := make(map[vstate]float64)
+	prevLink := make(map[vstate]graph.LinkID)
+	prevState := make(map[vstate]vstate)
+	hops := make(map[vstate]int)
+
+	pq := &priorityQueue{}
+	start := vstate{node: src, in: cons.ingress}
+	dist[start] = 0
+	hops[start] = 0
+	heap.Push(pq, &pqItem{state: start, dist: 0})
+
+	visited := make(map[vstate]bool)
+	maxHops := cfg.maxHops()
+
+	var best vstate
+	bestDist := math.Inf(1)
+
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(*pqItem)
+		s := it.state
+		if visited[s] {
+			continue
+		}
+		visited[s] = true
+		if it.dist >= bestDist {
+			break // every remaining state is at least as far
+		}
+		if s.node == dst {
+			best, bestDist = s, it.dist
+			break
+		}
+		if hops[s] >= maxHops {
+			continue
+		}
+		for _, id := range net.Out(s.node) {
+			if cons.bannedLinks[id] {
+				continue
+			}
+			l := net.Link(id)
+			if l.Capacity <= 0 {
+				continue
+			}
+			if cons.bannedNodes[l.To] {
+				continue
+			}
+			w := l.D()
+			if cfg.UseCSC && s.in != noTech && s.in == l.Tech {
+				w += wns(net, s.node)
+			}
+			next := vstate{node: l.To, in: l.Tech}
+			nd := it.dist + w
+			if old, ok := dist[next]; !ok || nd < old {
+				dist[next] = nd
+				prevLink[next] = id
+				prevState[next] = s
+				hops[next] = hops[s] + 1
+				heap.Push(pq, &pqItem{state: next, dist: nd})
+			}
+		}
+	}
+
+	if math.IsInf(bestDist, 1) {
+		return nil, math.Inf(1)
+	}
+	// Reconstruct.
+	var rev []graph.LinkID
+	for s := best; s != start; s = prevState[s] {
+		rev = append(rev, prevLink[s])
+	}
+	p := make(graph.Path, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		p = append(p, rev[i])
+	}
+	p = removeNodeLoops(net, p)
+	return p, PathWeight(net, p, cfg)
+}
+
+// removeNodeLoops shortcuts any node revisits in a walk. With the EMPoWER
+// weights this never increases the path weight: removing a loop at node u
+// drops at least one egress link of u (weight ≥ w_ns(u)) while adding at
+// most w_ns(u) of channel-switching cost.
+func removeNodeLoops(net *graph.Network, p graph.Path) graph.Path {
+	for {
+		seen := make(map[graph.NodeID]int) // node -> index in p of the link leaving it
+		loop := false
+		if len(p) == 0 {
+			return p
+		}
+		seen[net.Link(p[0]).From] = 0
+		for i, id := range p {
+			to := net.Link(id).To
+			if j, ok := seen[to]; ok {
+				// Links j..i form a loop returning to node `to`; cut them.
+				np := make(graph.Path, 0, len(p)-(i-j+1))
+				np = append(np, p[:j]...)
+				np = append(np, p[i+1:]...)
+				p = np
+				loop = true
+				break
+			}
+			seen[to] = i + 1
+		}
+		if !loop {
+			return p
+		}
+	}
+}
+
+// SinglePath runs the single-path procedure of §3.1: the shortest path on
+// the virtual interface graph from src to dst under the EMPoWER link metric
+// and CSC. It returns nil if dst is unreachable.
+func SinglePath(net *graph.Network, src, dst graph.NodeID, cfg Config) graph.Path {
+	p, w := dijkstra(net, src, dst, cfg, searchConstraints{ingress: noTech})
+	if math.IsInf(w, 1) {
+		return nil
+	}
+	return p
+}

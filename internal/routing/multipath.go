@@ -1,0 +1,173 @@
+package routing
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// RatePath returns R(P), the maximum end-to-end rate achievable on path P
+// alone (§3.2): R(P) = ( max_{l∈P} Σ_{l'∈ I_l ∩ P} d_{l'} )^{-1}. It is
+// the largest rate simultaneously supported by every link of the path under
+// intra-path interference (Lemma 1 applied per interference domain).
+func RatePath(net *graph.Network, p graph.Path) float64 {
+	if len(p) == 0 {
+		return 0
+	}
+	inPath := make(map[graph.LinkID]bool, len(p))
+	for _, id := range p {
+		inPath[id] = true
+	}
+	worst := 0.0
+	for _, id := range p {
+		var sum float64
+		for _, i := range net.Interference(id) {
+			if inPath[i] {
+				l := net.Link(i)
+				if l.Capacity <= 0 {
+					return 0
+				}
+				sum += l.D()
+			}
+		}
+		if sum > worst {
+			worst = sum
+		}
+	}
+	if worst == 0 {
+		return 0
+	}
+	return 1 / worst
+}
+
+// RateOnLink returns R(l,P) = (Σ_{l'∈ I_l ∩ P} d_{l'})^{-1}: the maximum
+// path rate supported by link l (which must be on P).
+func RateOnLink(net *graph.Network, l graph.LinkID, p graph.Path) float64 {
+	inPath := make(map[graph.LinkID]bool, len(p))
+	for _, id := range p {
+		inPath[id] = true
+	}
+	var sum float64
+	for _, i := range net.Interference(l) {
+		if inPath[i] {
+			link := net.Link(i)
+			if link.Capacity <= 0 {
+				return 0
+			}
+			sum += link.D()
+		}
+	}
+	if sum == 0 {
+		return math.Inf(1)
+	}
+	return 1 / sum
+}
+
+// Update implements the procedure update(P,G) of §3.2: it returns a copy of
+// the multigraph whose link capacities reflect the consumption of resources
+// when traffic is sent on P at the full rate R(P). For every link l in the
+// union of the interference domains of P's links,
+//
+//	C(l) ← max{0, C(l) · r(l,P)},  r(l,P) = 1 − Σ_{l'∈ I_l ∩ P} R(P)·d_{l'}.
+//
+// At least one link of P (the bottleneck) ends with zero capacity, which
+// guarantees the exploration tree terminates.
+func Update(net *graph.Network, p graph.Path) *graph.Network {
+	out := net.Clone()
+	r := RatePath(net, p)
+	if r <= 0 {
+		return out
+	}
+	inPath := make(map[graph.LinkID]bool, len(p))
+	for _, id := range p {
+		inPath[id] = true
+	}
+	// Collect the union of interference domains of the path's links.
+	affected := make(map[graph.LinkID]bool)
+	for _, id := range p {
+		for _, i := range net.Interference(id) {
+			affected[i] = true
+		}
+	}
+	for id := range affected {
+		// r(l,P) = 1 - Σ_{l'∈ I_l ∩ P} R(P)·d_{l'} with capacities from net.
+		var consumed float64
+		for _, i := range net.Interference(id) {
+			if inPath[i] {
+				consumed += r * net.Link(i).D()
+			}
+		}
+		frac := 1 - consumed
+		if frac < 0 {
+			frac = 0
+		}
+		out.Link(id).Capacity = net.Link(id).Capacity * frac
+		if out.Link(id).Capacity < capacityEpsilon {
+			out.Link(id).Capacity = 0
+		}
+	}
+	return out
+}
+
+// capacityEpsilon (Mbps) flushes numerical residue to zero so the
+// exploration tree terminates cleanly.
+const capacityEpsilon = 1e-9
+
+// Combination is the result of the multipath procedure: a set of paths to
+// be employed simultaneously, the rate R(P) at which each was assumed
+// loaded during exploration, and the resulting total achievable capacity
+// C_B = Σ R(P).
+type Combination struct {
+	Paths []graph.Path
+	Rates []float64
+	Total float64
+}
+
+// Multipath runs the full multipath-routing procedure of §3.2: it builds
+// the exploration tree whose root is net, where each edge is a path
+// returned by n-shortest and each child vertex the multigraph updated by
+// Update, and returns the path set on the root-to-leaf branch maximizing
+// total capacity. The zero Combination is returned when dst is unreachable.
+func Multipath(net *graph.Network, src, dst graph.NodeID, cfg Config) Combination {
+	var best Combination
+	explore(net, src, dst, cfg, 0, Combination{}, &best)
+	return best
+}
+
+func explore(g *graph.Network, src, dst graph.NodeID, cfg Config, depth int, cur Combination, best *Combination) {
+	if cfg.MaxDepth > 0 && depth >= cfg.MaxDepth {
+		if cur.Total > best.Total {
+			*best = cur
+		}
+		return
+	}
+	paths := NShortest(g, src, dst, cfg)
+	// Keep only paths with strictly positive achievable rate.
+	leaf := true
+	for _, p := range paths {
+		r := RatePath(g, p)
+		if r <= capacityEpsilon {
+			continue
+		}
+		leaf = false
+		child := Update(g, p)
+		next := Combination{
+			Paths: append(append([]graph.Path(nil), cur.Paths...), p),
+			Rates: append(append([]float64(nil), cur.Rates...), r),
+			Total: cur.Total + r,
+		}
+		explore(child, src, dst, cfg, depth+1, next, best)
+	}
+	if leaf && cur.Total > best.Total {
+		*best = cur
+	}
+}
+
+// TwoBestPaths implements the naive MP-2bp baseline of §5.1: the two best
+// paths from the n-shortest procedure (2-shortest), without the
+// combination-aware tree search.
+func TwoBestPaths(net *graph.Network, src, dst graph.NodeID, cfg Config) []graph.Path {
+	c := cfg
+	c.N = 2
+	return NShortest(net, src, dst, c)
+}

@@ -1,0 +1,40 @@
+package routing
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// newRng returns a deterministic RNG for property tests.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// randomNetwork builds a small random hybrid multigraph for property
+// testing: 4-8 nodes, each with WiFi and possibly PLC, random duplex links
+// with capacities in (5, 100) Mbps. It returns the network plus a random
+// source and destination pair.
+func randomNetwork(rng *rand.Rand) (*graph.Network, graph.NodeID, graph.NodeID) {
+	n := 4 + rng.Intn(5)
+	b := graph.NewBuilder(nil)
+	plc := make([]bool, n)
+	ids := make([]graph.NodeID, n)
+	for i := 0; i < n; i++ {
+		plc[i] = rng.Float64() < 0.6
+		techs := []graph.Tech{graph.TechWiFi}
+		if plc[i] {
+			techs = append(techs, graph.TechPLC)
+		}
+		ids[i] = b.AddNode("", rng.Float64()*50, rng.Float64()*30, techs...)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.5 {
+				b.AddDuplex(ids[i], ids[j], graph.TechWiFi, 5+rng.Float64()*95)
+			}
+			if plc[i] && plc[j] && rng.Float64() < 0.5 {
+				b.AddDuplex(ids[i], ids[j], graph.TechPLC, 5+rng.Float64()*95)
+			}
+		}
+	}
+	return b.Build(), ids[0], ids[n-1]
+}

@@ -1,0 +1,111 @@
+package routing
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// NShortest implements the n-shortest step of §3.2: it returns up to cfg.N
+// loopless paths from src to dst in increasing order of routing weight,
+// computed with Yen's algorithm over the virtual interface graph. Paths
+// through zero-capacity links are never returned.
+func NShortest(net *graph.Network, src, dst graph.NodeID, cfg Config) []graph.Path {
+	if cfg.N <= 0 {
+		return nil
+	}
+	first := SinglePath(net, src, dst, cfg)
+	if first == nil {
+		return nil
+	}
+	accepted := []graph.Path{first}
+	acceptedKeys := map[string]bool{PathKey(first): true}
+
+	type candidate struct {
+		path   graph.Path
+		weight float64
+	}
+	var candidates []candidate
+	candidateKeys := map[string]bool{}
+
+	for len(accepted) < cfg.N {
+		prev := accepted[len(accepted)-1]
+		prevNodes, err := net.PathNodes(prev)
+		if err != nil {
+			break
+		}
+		for i := 0; i < len(prev); i++ {
+			spurNode := prevNodes[i]
+			root := prev[:i]
+
+			cons := searchConstraints{
+				bannedLinks: make(map[graph.LinkID]bool),
+				bannedNodes: make(map[graph.NodeID]bool),
+				ingress:     noTech,
+			}
+			if i > 0 {
+				cons.ingress = net.Link(prev[i-1]).Tech
+			}
+			// Ban the next link of every accepted path sharing this root,
+			// forcing a deviation at the spur node.
+			for _, q := range accepted {
+				if len(q) > i && samePrefix(q, prev, i) {
+					cons.bannedLinks[q[i]] = true
+				}
+			}
+			// Ban root nodes (except the spur node) to keep paths loopless.
+			for _, v := range prevNodes[:i] {
+				cons.bannedNodes[v] = true
+			}
+
+			spurCfg := cfg
+			spurCfg.MaxHops = cfg.maxHops() - i
+			if spurCfg.MaxHops <= 0 {
+				continue
+			}
+			spur, w := dijkstra(net, spurNode, dst, spurCfg, cons)
+			if math.IsInf(w, 1) || len(spur) == 0 {
+				continue
+			}
+			total := make(graph.Path, 0, len(root)+len(spur))
+			total = append(total, root...)
+			total = append(total, spur...)
+			key := PathKey(total)
+			if acceptedKeys[key] || candidateKeys[key] {
+				continue
+			}
+			if err := validLoopless(net, total, src, dst); err != nil {
+				continue
+			}
+			candidateKeys[key] = true
+			candidates = append(candidates, candidate{total, PathWeight(net, total, cfg)})
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.SliceStable(candidates, func(a, b int) bool { return candidates[a].weight < candidates[b].weight })
+		next := candidates[0]
+		candidates = candidates[1:]
+		delete(candidateKeys, PathKey(next.path))
+		accepted = append(accepted, next.path)
+		acceptedKeys[PathKey(next.path)] = true
+	}
+	return accepted
+}
+
+func samePrefix(a, b graph.Path, n int) bool {
+	if len(a) < n || len(b) < n {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func validLoopless(net *graph.Network, p graph.Path, src, dst graph.NodeID) error {
+	return net.ValidatePath(p, src, dst)
+}

@@ -1,0 +1,205 @@
+// Package sim provides the deterministic discrete-event engine that the
+// packet-level simulator and the testbed emulation run on: a virtual
+// clock, a cancellable timer heap, and periodic tasks. The paper's Matlab
+// simulator and Click testbed are both reproduced on top of this engine —
+// the former with the simplified CSMA/CA MAC of §5.1, the latter with the
+// full EMPoWER node agents of §6.1.
+//
+// The engine is single-threaded by design: every event handler runs to
+// completion before the next event fires, which keeps runs reproducible
+// from a seed without locking.
+package sim
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Timer is a scheduled callback; it can be cancelled before firing.
+type Timer struct {
+	at    float64
+	seq   uint64
+	fn    func()
+	index int // heap index, -1 when fired or cancelled
+}
+
+// Cancel prevents the timer from firing. Cancelling a fired or already-
+// cancelled timer is a no-op.
+func (t *Timer) Cancel() {
+	if t.index >= 0 {
+		t.fn = nil
+	}
+}
+
+// When returns the virtual time the timer fires at.
+func (t *Timer) When() float64 { return t.at }
+
+type timerHeap []*Timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq // FIFO among simultaneous events
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *timerHeap) Push(x interface{}) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// Engine is the event loop. The zero value is ready to use, starting at
+// time 0.
+type Engine struct {
+	now  float64
+	seq  uint64
+	heap timerHeap
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of scheduled (uncancelled) timers.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, t := range e.heap {
+		if t.fn != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Schedule runs fn after delay seconds of virtual time. A negative delay
+// is treated as zero (fires at the current time, after currently-running
+// handlers).
+func (e *Engine) Schedule(delay float64, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t (clamped to now).
+func (e *Engine) At(t float64, fn func()) *Timer {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	timer := &Timer{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.heap, timer)
+	return timer
+}
+
+// Every schedules fn every interval seconds, starting after the first
+// interval, until the returned Periodic is stopped.
+func (e *Engine) Every(interval float64, fn func()) *Periodic {
+	p := &Periodic{engine: e, interval: interval, fn: fn}
+	p.arm()
+	return p
+}
+
+// Periodic is a repeating task created by Every.
+type Periodic struct {
+	engine   *Engine
+	interval float64
+	fn       func()
+	timer    *Timer
+	stopped  bool
+}
+
+func (p *Periodic) arm() {
+	p.timer = p.engine.Schedule(p.interval, func() {
+		if p.stopped {
+			return
+		}
+		p.fn()
+		if !p.stopped {
+			p.arm()
+		}
+	})
+}
+
+// Stop ends the periodic task.
+func (p *Periodic) Stop() {
+	p.stopped = true
+	if p.timer != nil {
+		p.timer.Cancel()
+	}
+}
+
+// Run processes events until the virtual clock would pass `until`
+// (inclusive), leaving later events queued. It returns the number of
+// events processed.
+func (e *Engine) Run(until float64) int {
+	processed := 0
+	for len(e.heap) > 0 {
+		next := e.heap[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.heap)
+		e.now = next.at
+		if next.fn != nil {
+			fn := next.fn
+			next.fn = nil
+			fn()
+			processed++
+		}
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return processed
+}
+
+// RunUntilIdle processes every queued event (including ones scheduled by
+// handlers) and returns the count. It guards against runaway schedules
+// with a generous event budget; exceeding it panics, which in practice
+// flags an accidental infinite loop in a handler.
+func (e *Engine) RunUntilIdle() int {
+	const budget = 50_000_000
+	processed := 0
+	for len(e.heap) > 0 {
+		next := heap.Pop(&e.heap).(*Timer)
+		e.now = next.at
+		if next.fn != nil {
+			fn := next.fn
+			next.fn = nil
+			fn()
+			processed++
+			if processed > budget {
+				panic("sim: event budget exceeded; runaway schedule?")
+			}
+		}
+	}
+	return processed
+}
+
+// NextEventTime returns the time of the earliest pending (uncancelled)
+// event, or +Inf when the queue is empty. O(n); intended for tests and
+// diagnostics.
+func (e *Engine) NextEventTime() float64 {
+	min := math.Inf(1)
+	for _, t := range e.heap {
+		if t.fn != nil && t.at < min {
+			min = t.at
+		}
+	}
+	return min
+}

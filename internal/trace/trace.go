@@ -1,0 +1,126 @@
+// Package trace exports experiment results as delimiter-separated values
+// so the regenerated figures can be plotted with standard tools (gnuplot,
+// matplotlib, R). Each writer produces a header row followed by aligned
+// data rows; columns are tab-separated by default.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Table accumulates named columns of equal length and writes them as TSV.
+type Table struct {
+	names []string
+	cols  [][]float64
+	sep   string
+}
+
+// NewTable creates a table with the given column names.
+func NewTable(names ...string) *Table {
+	t := &Table{names: names, sep: "\t"}
+	t.cols = make([][]float64, len(names))
+	return t
+}
+
+// SetSeparator changes the column separator (default tab).
+func (t *Table) SetSeparator(sep string) { t.sep = sep }
+
+// AddRow appends one value per column. It returns an error on arity
+// mismatch, which is always a programming error worth surfacing.
+func (t *Table) AddRow(values ...float64) error {
+	if len(values) != len(t.names) {
+		return fmt.Errorf("trace: row has %d values, table has %d columns", len(values), len(t.names))
+	}
+	for i, v := range values {
+		t.cols[i] = append(t.cols[i], v)
+	}
+	return nil
+}
+
+// AddColumnwise appends whole columns at once; all columns must have the
+// same length.
+func (t *Table) AddColumnwise(cols ...[]float64) error {
+	if len(cols) != len(t.names) {
+		return fmt.Errorf("trace: %d columns given, table has %d", len(cols), len(t.names))
+	}
+	n := -1
+	for _, c := range cols {
+		if n == -1 {
+			n = len(c)
+		} else if len(c) != n {
+			return fmt.Errorf("trace: ragged columns (%d vs %d)", len(c), n)
+		}
+	}
+	for i, c := range cols {
+		t.cols[i] = append(t.cols[i], c...)
+	}
+	return nil
+}
+
+// Rows returns the number of rows.
+func (t *Table) Rows() int {
+	if len(t.cols) == 0 {
+		return 0
+	}
+	return len(t.cols[0])
+}
+
+// WriteTo implements io.WriterTo: header then rows.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	n, err := fmt.Fprintln(w, "# "+strings.Join(t.names, t.sep))
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for r := 0; r < t.Rows(); r++ {
+		parts := make([]string, len(t.cols))
+		for c := range t.cols {
+			parts[c] = strconv.FormatFloat(t.cols[c][r], 'g', 6, 64)
+		}
+		n, err := fmt.Fprintln(w, strings.Join(parts, t.sep))
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.WriteTo(&b)
+	return b.String()
+}
+
+// WriteCDF writes an empirical CDF of xs as a two-column table
+// ("value", "cdf"), down-sampled to at most points rows (0 = all).
+func WriteCDF(w io.Writer, xs []float64, points int) (int64, error) {
+	c := stats.NewCDF(xs)
+	if points > 0 {
+		c = c.Points(points)
+	}
+	t := NewTable("value", "cdf")
+	if err := t.AddColumnwise(c.X, c.P); err != nil {
+		return 0, err
+	}
+	return t.WriteTo(w)
+}
+
+// WriteSeries writes a time series as ("t", name) columns.
+func WriteSeries(w io.Writer, name string, ts, values []float64) (int64, error) {
+	if len(ts) != len(values) {
+		return 0, fmt.Errorf("trace: series lengths differ: %d vs %d", len(ts), len(values))
+	}
+	t := NewTable("t", name)
+	if err := t.AddColumnwise(ts, values); err != nil {
+		return 0, err
+	}
+	return t.WriteTo(w)
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableBasic(t *testing.T) {
+	tb := NewTable("a", "b")
+	if err := tb.AddRow(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddRow(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 2 {
+		t.Fatalf("rows = %d, want 2", tb.Rows())
+	}
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3 (header + 2)", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "# a\tb") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "1\t2" || lines[2] != "3\t4" {
+		t.Errorf("rows = %q, %q", lines[1], lines[2])
+	}
+}
+
+func TestTableArityErrors(t *testing.T) {
+	tb := NewTable("a", "b")
+	if err := tb.AddRow(1); err == nil {
+		t.Error("short row accepted")
+	}
+	if err := tb.AddColumnwise([]float64{1}); err == nil {
+		t.Error("wrong column count accepted")
+	}
+	if err := tb.AddColumnwise([]float64{1, 2}, []float64{3}); err == nil {
+		t.Error("ragged columns accepted")
+	}
+}
+
+func TestTableSeparator(t *testing.T) {
+	tb := NewTable("x", "y")
+	tb.SetSeparator(",")
+	tb.AddRow(1, 2)
+	if !strings.Contains(tb.String(), "1,2") {
+		t.Errorf("custom separator not applied: %q", tb.String())
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := NewTable()
+	if tb.Rows() != 0 {
+		t.Error("empty table has rows")
+	}
+	if !strings.HasPrefix(tb.String(), "# ") {
+		t.Error("empty table should still render a header")
+	}
+}
+
+func TestWriteCDF(t *testing.T) {
+	var b strings.Builder
+	if _, err := WriteCDF(&b, []float64{3, 1, 2}, 0); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want header + 3", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "1\t") {
+		t.Errorf("first row = %q, want sorted values", lines[1])
+	}
+	// Down-sampling.
+	var c strings.Builder
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	WriteCDF(&c, xs, 10)
+	if n := len(strings.Split(strings.TrimSpace(c.String()), "\n")); n != 11 {
+		t.Errorf("downsampled lines = %d, want 11", n)
+	}
+}
+
+func TestWriteSeries(t *testing.T) {
+	var b strings.Builder
+	if _, err := WriteSeries(&b, "rate", []float64{0, 1}, []float64{5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "# t\trate") {
+		t.Errorf("header missing: %q", b.String())
+	}
+	if _, err := WriteSeries(&b, "rate", []float64{0}, []float64{5, 6}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
