@@ -8,6 +8,8 @@
 package empower
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -37,6 +39,31 @@ func BenchmarkFigure4Residential(b *testing.B) {
 func BenchmarkFigure4Enterprise(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		experiments.Figure4(experiments.TopoEnterprise, benchSim)
+	}
+}
+
+// BenchmarkFigure4ParallelSweep measures the replication-level speedup of
+// the internal/runner refactor on the Figure 4 Monte-Carlo sweep: the
+// workers=1 case is the old serial loop, workers=GOMAXPROCS the default
+// parallel configuration. The results are bit-identical across the two
+// (see TestFigure4ParallelDeterminism); only the wall-clock differs.
+func BenchmarkFigure4ParallelSweep(b *testing.B) {
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		cfg := benchSim
+		cfg.Runs = 16
+		cfg.Parallel = workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := experiments.Figure4(experiments.TopoResidential, cfg)
+				if len(r.Samples[core.SchemeEMPoWER]) != cfg.Runs {
+					b.Fatal("sample count wrong")
+				}
+			}
+		})
 	}
 }
 

@@ -2,17 +2,37 @@
 // 4-7 and the convergence comparison) over randomly generated residential
 // and enterprise topologies.
 //
+// The Monte-Carlo replications run on the deterministic parallel runner
+// (internal/runner): -parallel bounds the worker pool (default: all
+// cores) and never changes the numbers, only the wall-clock time; the
+// same -seed yields bit-identical figures at any worker count.
+//
+// Flags:
+//
+//	-fig 4|5|6|7|convergence|all   figure to regenerate
+//	-topo residential|enterprise|both
+//	-runs N        random instances per figure (paper: 1000)
+//	-seed N        base RNG seed
+//	-parallel N    worker pool size (<= 0: GOMAXPROCS)
+//	-json          emit one JSON object per figure on stdout instead of text
+//	-progress      report sweep progress on stderr
+//	-out DIR       also write plottable TSV CDF files
+//	-slots N       controller slots per run (default 4000)
+//
 // Usage:
 //
-//	empower-sim -fig 4 -topo residential -runs 1000
-//	empower-sim -fig all -runs 200
+//	empower-sim -fig 4 -topo residential -runs 1000 -parallel 8
+//	empower-sim -fig all -runs 200 -json
 //	empower-sim -fig convergence
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
@@ -26,10 +46,17 @@ func main() {
 	topo := flag.String("topo", "both", "topology: residential, enterprise, both")
 	runs := flag.Int("runs", 200, "random instances per figure (paper: 1000)")
 	seed := flag.Int64("seed", 1, "base RNG seed")
+	parallel := flag.Int("parallel", 0, "replication workers (<= 0: GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit figures as JSON objects on stdout")
+	progress := flag.Bool("progress", false, "report sweep progress on stderr")
 	slots := flag.Int("slots", 0, "controller slots per run (default 4000)")
 	out := flag.String("out", "", "directory for plottable TSV data files (optional)")
 	flag.Parse()
 
+	if *fig != "all" && !oneOf(*fig, "4", "5", "6", "7", "convergence") {
+		fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *fig)
+		os.Exit(2)
+	}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "empower-sim:", err)
@@ -37,7 +64,13 @@ func main() {
 		}
 	}
 
-	cfg := experiments.SimConfig{Runs: *runs, Seed: *seed, Core: core.Options{Slots: *slots}}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	cfg := experiments.SimConfig{
+		Runs: *runs, Seed: *seed, Core: core.Options{Slots: *slots},
+		Parallel: *parallel,
+	}
 
 	var topos []experiments.Topo
 	switch strings.ToLower(*topo) {
@@ -52,44 +85,85 @@ func main() {
 		os.Exit(2)
 	}
 
+	enc := json.NewEncoder(os.Stdout)
+	// emit prints one figure in the selected output mode. The JSON
+	// envelope names the figure and topology so streams of objects stay
+	// self-describing.
+	emit := func(figure string, t fmt.Stringer, result any, render func() string) {
+		if *jsonOut {
+			envelope := struct {
+				Figure string `json:"figure"`
+				Topo   string `json:"topo,omitempty"`
+				Seed   int64  `json:"seed"`
+				Result any    `json:"result"`
+			}{Figure: figure, Seed: *seed, Result: result}
+			if t != nil {
+				envelope.Topo = t.String()
+			}
+			if err := enc.Encode(envelope); err != nil {
+				fail(err)
+			}
+			return
+		}
+		fmt.Println(render())
+	}
+
 	want := func(f string) bool { return *fig == "all" || *fig == f }
 
 	for _, t := range topos {
+		tcfg := cfg
+		if *progress {
+			tt := t
+			tcfg.Progress = func(done, total int) {
+				fmt.Fprintf(os.Stderr, "\r%-12s %4d/%d", tt, done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
 		if want("4") || want("5") {
-			f4 := experiments.Figure4(t, cfg)
+			f4, err := experiments.Figure4Ctx(ctx, t, tcfg)
+			fail(err)
 			if want("4") {
-				fmt.Println(f4.Render())
+				emit("4", t, f4, f4.Render)
 				for scheme, xs := range f4.Samples {
-					dumpCDF(*out, fmt.Sprintf("fig4-%s-%s.tsv", t, scheme), xs)
+					dumpCDF(*out, fmt.Sprintf("fig4-%s-%s.tsv", t, slug(scheme.String())), xs)
 				}
 			}
 			if want("5") {
 				f5 := experiments.Figure5(f4)
-				fmt.Println(f5.Render())
+				emit("5", t, f5, f5.Render)
 				dumpCDF(*out, fmt.Sprintf("fig5-%s.tsv", t), f5.Ratios)
 			}
 		}
 		if want("6") {
-			f6 := experiments.Figure6(t, cfg)
-			fmt.Println(f6.Render())
+			f6, err := experiments.Figure6Ctx(ctx, t, tcfg)
+			fail(err)
+			emit("6", t, f6, f6.Render)
 			for name, xs := range f6.Ratios {
 				dumpCDF(*out, fmt.Sprintf("fig6-%s-%s.tsv", t, slug(name)), xs)
 			}
 		}
 		if want("7") {
-			f7 := experiments.Figure7(t, cfg)
-			fmt.Println(f7.Render())
+			f7, err := experiments.Figure7Ctx(ctx, t, tcfg)
+			fail(err)
+			emit("7", t, f7, f7.Render)
 			for name, xs := range f7.Ratios {
 				dumpCDF(*out, fmt.Sprintf("fig7-%s-%s.tsv", t, slug(name)), xs)
 			}
 		}
 		if want("convergence") {
-			fmt.Println(experiments.Convergence(t, cfg).Render())
+			cv, err := experiments.ConvergenceCtx(ctx, t, tcfg)
+			fail(err)
+			emit("convergence", t, cv, cv.Render)
 		}
 	}
-	if *fig != "all" && !oneOf(*fig, "4", "5", "6", "7", "convergence") {
-		fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *fig)
-		os.Exit(2)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "empower-sim:", err)
+		os.Exit(1)
 	}
 }
 

@@ -1,18 +1,41 @@
 // Command empower-testbed regenerates the testbed-emulation results of §6
 // (Figures 9-13 and Table 1) on the 22-node emulated office floor.
 //
+// The repeated emulations (Figure 10's station pairs, Figures 11/13's
+// per-flow runs, Table 1's repetitions) run on the deterministic parallel
+// runner (internal/runner): -parallel bounds the worker pool (default:
+// all cores) and never changes the numbers, only the wall-clock time;
+// the same -seed yields bit-identical results at any worker count.
+//
+// Flags:
+//
+//	-fig 9|10|11|12|13|all   figure to regenerate
+//	-table 1       table to regenerate
+//	-runs N        repetitions for Table 1; alias of -repeats, mirroring
+//	               empower-sim (paper: 40 tiny/short, 10 long/conc)
+//	-seed N        base RNG seed (fixes the channel realization)
+//	-parallel N    worker pool size (<= 0: GOMAXPROCS)
+//	-json          emit one JSON object per figure on stdout instead of text
+//	-duration S    emulated seconds per run (paper runs are 1000 s)
+//	-pairs N       random station pairs for figure 10 (paper: 50)
+//	-flows N       flows for figures 11 and 13
+//	-delta D       constraint margin δ
+//
 // Usage:
 //
 //	empower-testbed -fig 9
-//	empower-testbed -fig 10 -pairs 50 -duration 200
-//	empower-testbed -table 1 -repeats 10
+//	empower-testbed -fig 10 -pairs 50 -duration 200 -parallel 8
+//	empower-testbed -table 1 -runs 10 -json
 //	empower-testbed -fig all
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/experiments"
 )
@@ -24,13 +47,40 @@ func main() {
 	pairs := flag.Int("pairs", 20, "random station pairs for figure 10 (paper: 50)")
 	flows := flag.Int("flows", 10, "flows for figures 11 and 13")
 	repeats := flag.Int("repeats", 5, "repetitions for table 1 (paper: 40 tiny/short, 10 long/conc)")
+	runs := flag.Int("runs", 0, "alias of -repeats (mirrors empower-sim); takes precedence when set")
 	seed := flag.Int64("seed", 1, "base RNG seed (fixes the channel realization)")
+	parallel := flag.Int("parallel", 0, "replication workers (<= 0: GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit results as JSON objects on stdout")
 	delta := flag.Float64("delta", 0.05, "constraint margin δ")
 	flag.Parse()
+
+	if *runs > 0 {
+		*repeats = *runs
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	cfg := experiments.TestbedConfig{
 		Seed: *seed, Duration: *duration, Pairs: *pairs,
 		Flows: *flows, Repeats: *repeats, Delta: *delta,
+		Parallel: *parallel,
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	emit := func(figure string, result any, render func() string) {
+		if *jsonOut {
+			envelope := struct {
+				Figure string `json:"figure"`
+				Seed   int64  `json:"seed"`
+				Result any    `json:"result"`
+			}{Figure: figure, Seed: *seed, Result: result}
+			if err := enc.Encode(envelope); err != nil {
+				fail(err)
+			}
+			return
+		}
+		fmt.Println(render())
 	}
 
 	want := func(f string) bool { return *fig == "all" || *fig == f }
@@ -39,29 +89,37 @@ func main() {
 	if want("9") {
 		res, err := experiments.Figure9(cfg)
 		fail(err)
-		fmt.Println(res.Render())
+		emit("9", res, res.Render)
 		ran = true
 	}
 	if want("10") {
-		fmt.Println(experiments.Figure10(cfg).Render())
+		res, err := experiments.Figure10Ctx(ctx, cfg)
+		fail(err)
+		emit("10", res, res.Render)
 		ran = true
 	}
 	if want("11") {
-		fmt.Println(experiments.Figure11(cfg).Render())
+		res, err := experiments.Figure11Ctx(ctx, cfg)
+		fail(err)
+		emit("11", res, res.Render)
 		ran = true
 	}
 	if *table == 1 || *fig == "all" {
-		fmt.Println(experiments.Table1(cfg).Render())
+		res, err := experiments.Table1Ctx(ctx, cfg)
+		fail(err)
+		emit("table1", res, res.Render)
 		ran = true
 	}
 	if want("12") {
-		res, err := experiments.Figure12(cfg)
+		res, err := experiments.Figure12Ctx(ctx, cfg)
 		fail(err)
-		fmt.Println(res.Render())
+		emit("12", res, res.Render)
 		ran = true
 	}
 	if want("13") {
-		fmt.Println(experiments.Figure13(cfg).Render())
+		res, err := experiments.Figure13Ctx(ctx, cfg)
+		fail(err)
+		emit("13", res, res.Render)
 		ran = true
 	}
 	if !ran {

@@ -15,6 +15,12 @@
 //   - the centralized optimal baselines (OptimalRates) the paper compares
 //     against.
 //
+// The Monte-Carlo sweeps behind every figure (internal/experiments) run
+// on a deterministic parallel replication runner (internal/runner): the
+// same base seed yields bit-identical figures at any worker count, so
+// parallelism is purely a wall-clock knob (-parallel on the cmd/
+// binaries).
+//
 // See examples/ for runnable walkthroughs and DESIGN.md for the map from
 // paper sections to packages.
 package empower

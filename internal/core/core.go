@@ -70,6 +70,11 @@ func (s Scheme) String() string {
 	}
 }
 
+// MarshalText implements encoding.TextMarshaler so JSON-encoded results
+// (including maps keyed by Scheme) carry the paper's scheme names rather
+// than enum ordinals.
+func (s Scheme) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
 // View returns the topology view the scheme runs on.
 func (s Scheme) View() topology.View {
 	switch s {

@@ -70,6 +70,9 @@ func TestRoutesForSingleVsMulti(t *testing.T) {
 }
 
 func TestEvaluateEMPoWERBeatsOrMatchesSP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10-instance analytic sweep")
+	}
 	better, worse := 0, 0
 	for seed := int64(0); seed < 10; seed++ {
 		inst := instance(seed)
@@ -90,6 +93,9 @@ func TestEvaluateEMPoWERBeatsOrMatchesSP(t *testing.T) {
 }
 
 func TestEvaluateHybridBeatsWiFiOnAverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("12-instance analytic sweep")
+	}
 	var hybridSum, wifiSum float64
 	n := 12
 	for seed := int64(0); seed < int64(n); seed++ {

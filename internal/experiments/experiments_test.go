@@ -61,7 +61,11 @@ func TestFigure5FromFigure4(t *testing.T) {
 }
 
 func TestFigure6RatiosBounded(t *testing.T) {
-	res := Figure6(TopoResidential, SimConfig{Runs: 8, Seed: 11, Core: core.Options{Slots: 1500}})
+	runs := 8
+	if testing.Short() {
+		runs = 2 // the optimal-baseline solver dominates this sweep
+	}
+	res := Figure6(TopoResidential, SimConfig{Runs: runs, Seed: 11, Core: core.Options{Slots: 1500}})
 	names := []string{"conservative opt", "EMPoWER", "MP-2bp", "MP-w/o-CC", "SP"}
 	for _, n := range names {
 		for _, v := range res.Ratios[n] {
@@ -81,6 +85,9 @@ func TestFigure6RatiosBounded(t *testing.T) {
 }
 
 func TestFigure7UtilityRatios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3-flow optimal baseline is ~10 s per instance")
+	}
 	res := Figure7(TopoResidential, SimConfig{Runs: 5, Seed: 17, Core: core.Options{Slots: 1500}})
 	if len(res.Ratios["EMPoWER"]) == 0 {
 		t.Skip("no connected 3-flow instances in this tiny sweep")
@@ -125,6 +132,9 @@ func TestFigure9Trace(t *testing.T) {
 }
 
 func TestFigure10Ratios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("per-pair packet emulation plus five analytic schemes is slow")
+	}
 	res := Figure10(fastTestbed)
 	if len(res.Ratios["SP"]) == 0 {
 		t.Skip("no connected pairs in this tiny run")
@@ -155,6 +165,9 @@ func TestFigure11Table(t *testing.T) {
 }
 
 func TestTable1SmallFiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("file-download emulation is slow")
+	}
 	cfg := fastTestbed
 	res := Table1(cfg)
 	if len(res.Rows) != 5 {

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/optimal"
 	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/topology"
 )
@@ -37,6 +39,10 @@ func (t Topo) String() string {
 	return "residential"
 }
 
+// MarshalText implements encoding.TextMarshaler so JSON-encoded results
+// name the topology family instead of its ordinal.
+func (t Topo) MarshalText() ([]byte, error) { return []byte(t.String()), nil }
+
 func generate(t Topo, seed int64) *topology.Instance {
 	rng := stats.NewRand(seed)
 	if t == TopoEnterprise {
@@ -54,6 +60,11 @@ type SimConfig struct {
 	Seed int64
 	// Core tunes the analytic evaluation.
 	Core core.Options
+	// Parallel bounds the replication worker pool (<= 0: GOMAXPROCS).
+	// The worker count never changes results, only wall-clock time.
+	Parallel int
+	// Progress, when non-nil, receives (done, total) as runs complete.
+	Progress func(done, total int)
 }
 
 func (c SimConfig) runs() int {
@@ -61,6 +72,23 @@ func (c SimConfig) runs() int {
 		return 200
 	}
 	return c.Runs
+}
+
+// runnerConfig maps the sweep configuration onto the shared runner.
+func (c SimConfig) runnerConfig() runner.Config {
+	return runner.Config{Workers: c.Parallel, BaseSeed: c.Seed, OnProgress: c.Progress}
+}
+
+// instanceFor regenerates the historical per-run seeding of the serial
+// loops (base+run for the instance, base+run+1e6 for the flow draw), so
+// sweeps produce the same figures the serial code recorded. rep.Seed is
+// deliberately unused here: new experiments should prefer it, but the
+// published figures are tied to this derivation.
+func instanceFor(t Topo, cfg SimConfig, run int) (*topology.Instance, graph.NodeID, graph.NodeID) {
+	inst := generate(t, cfg.Seed+int64(run))
+	rng := stats.NewRand(cfg.Seed + int64(run) + 1_000_000)
+	src, dst := inst.RandomFlow(rng)
+	return inst, src, dst
 }
 
 // Figure4Result holds the per-scheme throughput samples of Figure 4.
@@ -76,20 +104,37 @@ type Figure4Result struct {
 // Figure4 reproduces Figure 4: the distribution of single-flow throughput
 // under EMPoWER, SP, SP-WiFi, MP-WiFi and MP-mWiFi over random instances.
 func Figure4(t Topo, cfg SimConfig) Figure4Result {
+	res, _ := Figure4Ctx(context.Background(), t, cfg)
+	return res
+}
+
+// Figure4Ctx is Figure4 with cancellation; the replications run on the
+// shared parallel runner and are aggregated in replication order, so the
+// result is identical for every worker count.
+func Figure4Ctx(ctx context.Context, t Topo, cfg SimConfig) (Figure4Result, error) {
 	schemes := []core.Scheme{core.SchemeEMPoWER, core.SchemeSP, core.SchemeSPWiFi,
 		core.SchemeMPWiFi, core.SchemeMPmWiFi}
 	res := Figure4Result{Topo: t, Samples: map[core.Scheme][]float64{}}
-	for run := 0; run < cfg.runs(); run++ {
-		inst := generate(t, cfg.Seed+int64(run))
-		rng := stats.NewRand(cfg.Seed + int64(run) + 1_000_000)
-		src, dst := inst.RandomFlow(rng)
-		for _, s := range schemes {
-			res.Samples[s] = append(res.Samples[s], core.Throughput(inst, s, src, dst, cfg.Core))
+	rows, err := runner.Collect(ctx, cfg.runs(), cfg.runnerConfig(),
+		func(_ context.Context, rep runner.Rep) []float64 {
+			inst, src, dst := instanceFor(t, cfg, rep.Index)
+			out := make([]float64, len(schemes))
+			for i, s := range schemes {
+				out[i] = core.Throughput(inst, s, src, dst, cfg.Core)
+			}
+			return out
+		})
+	if err != nil {
+		return res, err
+	}
+	for _, row := range rows {
+		for i, s := range schemes {
+			res.Samples[s] = append(res.Samples[s], row[i])
 		}
 	}
 	res.GainVsWiFi = meanGain(res.Samples[core.SchemeEMPoWER], res.Samples[core.SchemeSPWiFi])
 	res.GainVsSP = meanGain(res.Samples[core.SchemeEMPoWER], res.Samples[core.SchemeSP])
-	return res
+	return res, nil
 }
 
 // meanGain returns mean(a)/mean(b) − 1.
@@ -187,34 +232,59 @@ type Figure6Result struct {
 // Figure6 reproduces Figure 6: the distribution of T_X/T_optimal for
 // conservative-opt, EMPoWER, MP-2bp, MP-w/o-CC and SP on single flows.
 func Figure6(t Topo, cfg SimConfig) Figure6Result {
+	res, _ := Figure6Ctx(context.Background(), t, cfg)
+	return res
+}
+
+// f6run is one Figure 6 replication: the conservative-opt ratio followed
+// by one ratio per scheme. A nil run is a disconnected or unsolvable
+// instance (the serial loops skipped those with continue).
+type f6run struct {
+	cons   float64
+	ratios []float64
+}
+
+// Figure6Ctx is Figure6 with cancellation on the shared parallel runner.
+func Figure6Ctx(ctx context.Context, t Topo, cfg SimConfig) (Figure6Result, error) {
 	schemes := []core.Scheme{core.SchemeEMPoWER, core.SchemeMP2bp, core.SchemeMPWoCC, core.SchemeSP}
 	// Bound the baselines' path enumeration: local-network routes are a
 	// few hops (§3.2), and beyond ~500 paths the extra routes carry no
 	// capacity while slowing the solver.
 	optCfg := optimal.Config{Enumerate: optimal.EnumerateOptions{MaxHops: 4, MaxPaths: 512}}
 	res := Figure6Result{Topo: t, Ratios: map[string][]float64{}}
-	for run := 0; run < cfg.runs(); run++ {
-		inst := generate(t, cfg.Seed+int64(run))
-		rng := stats.NewRand(cfg.Seed + int64(run) + 1_000_000)
-		src, dst := inst.RandomFlow(rng)
-		net := inst.Build(topology.ViewHybrid)
-		flows := []optimal.FlowSpec{{Src: src, Dst: dst}}
-		opt, err := optimal.Optimal(net.Network, flows, optCfg)
-		if err != nil || opt.FlowRates[0] <= 0 {
-			continue // disconnected pair: ratios undefined
-		}
-		cons, err := optimal.ConservativeOpt(net.Network, flows, optCfg)
-		if err != nil {
+	runs, err := runner.Collect(ctx, cfg.runs(), cfg.runnerConfig(),
+		func(_ context.Context, rep runner.Rep) *f6run {
+			inst, src, dst := instanceFor(t, cfg, rep.Index)
+			net := inst.Build(topology.ViewHybrid)
+			flows := []optimal.FlowSpec{{Src: src, Dst: dst}}
+			opt, err := optimal.Optimal(net.Network, flows, optCfg)
+			if err != nil || opt.FlowRates[0] <= 0 {
+				return nil // disconnected pair: ratios undefined
+			}
+			cons, err := optimal.ConservativeOpt(net.Network, flows, optCfg)
+			if err != nil {
+				return nil
+			}
+			out := &f6run{cons: clampRatio(cons.FlowRates[0] / opt.FlowRates[0])}
+			for _, s := range schemes {
+				tx := core.Throughput(inst, s, src, dst, cfg.Core)
+				out.ratios = append(out.ratios, clampRatio(tx/opt.FlowRates[0]))
+			}
+			return out
+		})
+	if err != nil {
+		return res, err
+	}
+	for _, r := range runs {
+		if r == nil {
 			continue
 		}
-		res.Ratios["conservative opt"] = append(res.Ratios["conservative opt"],
-			clampRatio(cons.FlowRates[0]/opt.FlowRates[0]))
-		for _, s := range schemes {
-			tx := core.Throughput(inst, s, src, dst, cfg.Core)
-			res.Ratios[s.String()] = append(res.Ratios[s.String()], clampRatio(tx/opt.FlowRates[0]))
+		res.Ratios["conservative opt"] = append(res.Ratios["conservative opt"], r.cons)
+		for i, s := range schemes {
+			res.Ratios[s.String()] = append(res.Ratios[s.String()], r.ratios[i])
 		}
 	}
-	return res
+	return res, nil
 }
 
 // clampRatio guards against tiny solver noise pushing ratios above 1.
@@ -258,36 +328,55 @@ type Figure7Result struct {
 // Figure7 reproduces Figure 7: total network utility with three
 // contending flows, as a fraction of the optimal utility.
 func Figure7(t Topo, cfg SimConfig) Figure7Result {
+	res, _ := Figure7Ctx(context.Background(), t, cfg)
+	return res
+}
+
+// Figure7Ctx is Figure7 with cancellation on the shared parallel runner.
+func Figure7Ctx(ctx context.Context, t Topo, cfg SimConfig) (Figure7Result, error) {
 	schemes := []core.Scheme{core.SchemeEMPoWER, core.SchemeMP2bp, core.SchemeMPWoCC, core.SchemeSP}
 	res := Figure7Result{Topo: t, Ratios: map[string][]float64{}}
-	for run := 0; run < cfg.runs(); run++ {
-		inst := generate(t, cfg.Seed+int64(run))
-		rng := stats.NewRand(cfg.Seed + int64(run) + 1_000_000)
-		pairs := make([][2]graph.NodeID, 3)
-		flows := make([]optimal.FlowSpec, 3)
-		for i := range pairs {
-			s, d := inst.RandomFlow(rng)
-			pairs[i] = [2]graph.NodeID{s, d}
-			flows[i] = optimal.FlowSpec{Src: s, Dst: d}
-		}
-		net := inst.Build(topology.ViewHybrid)
-		optCfg := optimal.Config{Enumerate: optimal.EnumerateOptions{MaxHops: 4, MaxPaths: 512}}
-		opt, err := optimal.Optimal(net.Network, flows, optCfg)
-		if err != nil || opt.Utility <= 0 {
+	runs, err := runner.Collect(ctx, cfg.runs(), cfg.runnerConfig(),
+		func(_ context.Context, rep runner.Rep) *f6run {
+			inst := generate(t, cfg.Seed+int64(rep.Index))
+			rng := stats.NewRand(cfg.Seed + int64(rep.Index) + 1_000_000)
+			pairs := make([][2]graph.NodeID, 3)
+			flows := make([]optimal.FlowSpec, 3)
+			for i := range pairs {
+				s, d := inst.RandomFlow(rng)
+				pairs[i] = [2]graph.NodeID{s, d}
+				flows[i] = optimal.FlowSpec{Src: s, Dst: d}
+			}
+			net := inst.Build(topology.ViewHybrid)
+			optCfg := optimal.Config{Enumerate: optimal.EnumerateOptions{MaxHops: 4, MaxPaths: 512}}
+			opt, err := optimal.Optimal(net.Network, flows, optCfg)
+			if err != nil || opt.Utility <= 0 {
+				return nil
+			}
+			cons, err := optimal.ConservativeOpt(net.Network, flows, optCfg)
+			if err != nil {
+				return nil
+			}
+			out := &f6run{cons: clampRatio(cons.Utility / opt.Utility)}
+			for _, s := range schemes {
+				ev := core.Evaluate(inst, s, pairs, cfg.Core)
+				out.ratios = append(out.ratios, clampRatio(ev.Utility/opt.Utility))
+			}
+			return out
+		})
+	if err != nil {
+		return res, err
+	}
+	for _, r := range runs {
+		if r == nil {
 			continue
 		}
-		cons, err := optimal.ConservativeOpt(net.Network, flows, optCfg)
-		if err != nil {
-			continue
-		}
-		res.Ratios["conservative opt"] = append(res.Ratios["conservative opt"],
-			clampRatio(cons.Utility/opt.Utility))
-		for _, s := range schemes {
-			ev := core.Evaluate(inst, s, pairs, cfg.Core)
-			res.Ratios[s.String()] = append(res.Ratios[s.String()], clampRatio(ev.Utility/opt.Utility))
+		res.Ratios["conservative opt"] = append(res.Ratios["conservative opt"], r.cons)
+		for i, s := range schemes {
+			res.Ratios[s.String()] = append(res.Ratios[s.String()], r.ratios[i])
 		}
 	}
-	return res
+	return res, nil
 }
 
 // Render prints the utility-ratio CDFs.
@@ -322,21 +411,34 @@ type ConvergenceResult struct {
 // (good routes are used only after queues on bad routes fill up), which
 // single-hop or line-rate flows do not exhibit.
 func Convergence(t Topo, cfg SimConfig) ConvergenceResult {
+	res, _ := ConvergenceCtx(context.Background(), t, cfg)
+	return res
+}
+
+// convRun is one accepted convergence measurement; nil marks a candidate
+// instance the regime filters rejected.
+type convRun struct {
+	emp, bp float64
+}
+
+// ConvergenceCtx is Convergence with cancellation. The serial loop
+// stopped as soon as it had accepted `runs` instances out of at most
+// 4×runs candidates; to keep that early-stop semantics deterministic
+// under parallelism, candidates are dispatched in index-ordered waves and
+// the aggregate takes the first `runs` accepted candidates by index —
+// the exact set the serial loop measured, for every worker count.
+func ConvergenceCtx(ctx context.Context, t Topo, cfg SimConfig) (ConvergenceResult, error) {
 	runs := cfg.runs()
 	if runs > 20 {
 		runs = 20
 	}
 	res := ConvergenceResult{Topo: t, Runs: runs}
-	var empSum, bpSum float64
-	n := 0
-	for run := 0; run < runs*4 && n < runs; run++ {
-		inst := generate(t, cfg.Seed+int64(run))
-		rng := stats.NewRand(cfg.Seed + int64(run) + 1_000_000)
-		src, dst := inst.RandomFlow(rng)
+	measure := func(run int) *convRun {
+		inst, src, dst := instanceFor(t, cfg, run)
 		net := inst.Build(topology.ViewHybrid)
 		routes := core.RoutesFor(core.SchemeEMPoWER, net.Network, src, dst)
 		if len(routes) == 0 {
-			continue
+			return nil
 		}
 		multihop, longest := false, 0
 		for _, p := range routes {
@@ -348,7 +450,7 @@ func Convergence(t Topo, cfg SimConfig) ConvergenceResult {
 			}
 		}
 		if !multihop {
-			continue
+			return nil
 		}
 		// EMPoWER controller with the paper's α heuristic, warm-started
 		// at the routing procedure's assumed loading (as the real source
@@ -370,7 +472,7 @@ func Convergence(t Topo, cfg SimConfig) ConvergenceResult {
 			InitialRates: initial,
 		})
 		if err != nil {
-			continue
+			return nil
 		}
 		traj := ctrl.Run(4000)
 		totals := make([]float64, len(traj))
@@ -379,7 +481,7 @@ func Convergence(t Topo, cfg SimConfig) ConvergenceResult {
 		}
 		final := stats.Mean(totals[len(totals)*3/4:])
 		if final < 5 || final > 60 {
-			continue // outside the paper's moderate-rate regime
+			return nil // outside the paper's moderate-rate regime
 		}
 		// Steady state: within 5 % of the final rate for good (the warm
 		// start makes "first touch 90 %" trivially early).
@@ -390,18 +492,58 @@ func Convergence(t Topo, cfg SimConfig) ConvergenceResult {
 		series := bp.Run(12000, 0, 300)
 		bpFinal := stats.Mean(series[len(series)*3/4:])
 		if bpFinal <= 0 {
-			continue
+			return nil
 		}
-		empSum += float64(empSlots)
-		bpSum += float64(optimal.SlotsToFractionOfOptimal(series, bpFinal, 0.9))
-		n++
+		return &convRun{
+			emp: float64(empSlots),
+			bp:  float64(optimal.SlotsToFractionOfOptimal(series, bpFinal, 0.9)),
+		}
 	}
-	if n > 0 {
-		res.EMPoWERSlots = empSum / float64(n)
-		res.BackpressureSlots = bpSum / float64(n)
-		res.Runs = n
+
+	chunk := 2 * runner.PoolSize(cfg.Parallel)
+	if chunk < 8 {
+		chunk = 8
 	}
-	return res
+	total := runs * 4
+	var accepted []convRun
+	completed := 0
+	for lo := 0; lo < total && len(accepted) < runs; lo += chunk {
+		hi := lo + chunk
+		if hi > total {
+			hi = total
+		}
+		rcfg := runner.Config{Workers: cfg.Parallel, BaseSeed: cfg.Seed}
+		if cfg.Progress != nil {
+			// Report against the candidate upper bound; the sweep may
+			// stop early once enough instances are accepted.
+			base := completed
+			rcfg.OnProgress = func(done, _ int) { cfg.Progress(base+done, total) }
+		}
+		wave, err := runner.Collect(ctx, hi-lo, rcfg,
+			func(_ context.Context, rep runner.Rep) *convRun {
+				return measure(lo + rep.Index)
+			})
+		if err != nil {
+			return res, err
+		}
+		completed += hi - lo
+		for _, r := range wave {
+			if r != nil && len(accepted) < runs {
+				accepted = append(accepted, *r)
+			}
+		}
+	}
+	if len(accepted) > 0 {
+		var empSum, bpSum float64
+		for _, r := range accepted {
+			empSum += r.emp
+			bpSum += r.bp
+		}
+		res.EMPoWERSlots = empSum / float64(len(accepted))
+		res.BackpressureSlots = bpSum / float64(len(accepted))
+		res.Runs = len(accepted)
+	}
+	return res, nil
 }
 
 // Render prints the convergence comparison.

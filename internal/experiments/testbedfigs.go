@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/node"
 	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/transport"
@@ -31,6 +33,11 @@ type TestbedConfig struct {
 	Repeats int
 	// Delta is the constraint margin (§6.3 uses 0.05).
 	Delta float64
+	// Parallel bounds the replication worker pool (<= 0: GOMAXPROCS).
+	// Pair selection stays serial (it consumes a shared RNG stream);
+	// only the independent per-pair/per-repeat emulations fan out, so
+	// the worker count never changes results.
+	Parallel int
 }
 
 func (c TestbedConfig) duration() float64 {
@@ -66,6 +73,11 @@ func (c TestbedConfig) delta() float64 {
 		return 0.05
 	}
 	return c.Delta
+}
+
+// runnerConfig maps the emulation configuration onto the shared runner.
+func (c TestbedConfig) runnerConfig() runner.Config {
+	return runner.Config{Workers: c.Parallel, BaseSeed: c.Seed}
 }
 
 // testbedInstance builds the 22-node testbed with a fixed channel
@@ -201,6 +213,28 @@ type Figure10Result struct {
 // and SP-WiFi-bf are the exact maximum sustainable rate R(P) of the
 // corresponding single path.
 func Figure10(cfg TestbedConfig) Figure10Result {
+	res, _ := Figure10Ctx(context.Background(), cfg)
+	return res
+}
+
+// f10run is one Figure 10 station pair: the convergence fractions (when
+// the packet emulation delivered) and the ordered ratio-panel entries
+// (when the analytic EMPoWER throughput is positive).
+type f10run struct {
+	hasFrac               bool
+	frac1020, frac190_200 float64
+	ratios                []struct {
+		name string
+		v    float64
+	}
+	counted, mwBetter bool
+}
+
+// Figure10Ctx is Figure10 with cancellation. The station pairs are drawn
+// serially first (they consume one shared RNG stream), then the per-pair
+// emulations — the dominant cost — run on the parallel runner and are
+// folded back in pair order.
+func Figure10Ctx(ctx context.Context, cfg TestbedConfig) (Figure10Result, error) {
 	inst := testbedInstance(cfg.Seed + 10)
 	hybrid := inst.Build(topology.ViewHybrid)
 	wifi := inst.Build(topology.ViewWiFiSingle)
@@ -208,63 +242,96 @@ func Figure10(cfg TestbedConfig) Figure10Result {
 	res := Figure10Result{Ratios: map[string][]float64{}}
 	copts := core.Options{Delta: cfg.delta()}
 
-	mwBetter := 0
-	n := 0
-	for p := 0; p < cfg.pairs(); p++ {
+	pairs := make([][2]graph.NodeID, cfg.pairs())
+	for p := range pairs {
 		src, dst := inst.RandomFlow(rng)
-		routes := core.RoutesFor(core.SchemeEMPoWER, hybrid.Network, src, dst)
-		if len(routes) == 0 {
-			continue
-		}
-		// Packet emulation of EMPoWER for this pair: convergence panel.
-		em := node.NewEmulation(hybrid.Network, node.Config{Delta: cfg.delta(), Estimation: true}, cfg.Seed+int64(p))
-		_, err := em.AddFlow(node.FlowSpec{Src: src, Dst: dst, Routes: routes, Kind: node.TrafficSaturated}, 0)
-		if err != nil {
-			continue
-		}
-		dur := cfg.duration()
-		em.Run(dur)
-		sink := em.Agent(dst).Sinks()[0]
-		emuFinal := sink.MeanRate(dur*0.8, dur)
-		if emuFinal > 0 {
-			res.Frac10_20 = append(res.Frac10_20, ratio0(sink.MeanRate(10, 20), emuFinal))
-			res.Frac190_200 = append(res.Frac190_200, ratio0(sink.MeanRate(dur*0.95, dur), emuFinal))
-		}
+		pairs[p] = [2]graph.NodeID{src, dst}
+	}
 
-		// Ratio panel: one evaluator for every scheme.
-		final := core.Throughput(inst, core.SchemeEMPoWER, src, dst, copts)
-		if final <= 0 {
+	runs, err := runner.Collect(ctx, len(pairs), cfg.runnerConfig(),
+		func(_ context.Context, rep runner.Rep) *f10run {
+			p := rep.Index
+			src, dst := pairs[p][0], pairs[p][1]
+			routes := core.RoutesFor(core.SchemeEMPoWER, hybrid.Network, src, dst)
+			if len(routes) == 0 {
+				return nil
+			}
+			out := &f10run{}
+			// Packet emulation of EMPoWER for this pair: convergence panel.
+			em := node.NewEmulation(hybrid.Network, node.Config{Delta: cfg.delta(), Estimation: true}, cfg.Seed+int64(p))
+			_, err := em.AddFlow(node.FlowSpec{Src: src, Dst: dst, Routes: routes, Kind: node.TrafficSaturated}, 0)
+			if err != nil {
+				return nil
+			}
+			dur := cfg.duration()
+			em.Run(dur)
+			sink := em.Agent(dst).Sinks()[0]
+			emuFinal := sink.MeanRate(dur*0.8, dur)
+			if emuFinal > 0 {
+				out.hasFrac = true
+				out.frac1020 = ratio0(sink.MeanRate(10, 20), emuFinal)
+				out.frac190_200 = ratio0(sink.MeanRate(dur*0.95, dur), emuFinal)
+			}
+
+			// Ratio panel: one evaluator for every scheme.
+			final := core.Throughput(inst, core.SchemeEMPoWER, src, dst, copts)
+			if final <= 0 {
+				return out
+			}
+			add := func(name string, v float64) {
+				out.ratios = append(out.ratios, struct {
+					name string
+					v    float64
+				}{name, v / final})
+			}
+			add("SP", core.Throughput(inst, core.SchemeSP, src, dst, copts))
+			add("MP-2bp", core.Throughput(inst, core.SchemeMP2bp, src, dst, copts))
+			add("SP-WiFi", core.Throughput(inst, core.SchemeSPWiFi, src, dst, copts))
+			mw := core.Throughput(inst, core.SchemeMPmWiFi, src, dst, copts)
+			add("MP-mWiFi", mw)
+			// Brute-force single paths: max sustainable rate on the chosen
+			// single route (no margin, no estimation error).
+			if sp := routing.SinglePath(hybrid.Network, src, dst, routing.DefaultConfig()); sp != nil {
+				add("SP-bf", routing.RatePath(hybrid.Network, sp))
+			}
+			wcfg := routing.DefaultConfig()
+			wcfg.UseCSC = false
+			if sp := routing.SinglePath(wifi.Network, src, dst, wcfg); sp != nil {
+				add("SP-WiFi-bf", routing.RatePath(wifi.Network, sp))
+			} else {
+				add("SP-WiFi-bf", 0)
+			}
+			out.counted = true
+			out.mwBetter = mw < final
+			return out
+		})
+	if err != nil {
+		return res, err
+	}
+
+	mwBetter, n := 0, 0
+	for _, r := range runs {
+		if r == nil {
 			continue
 		}
-		add := func(name string, v float64) {
-			res.Ratios[name] = append(res.Ratios[name], v/final)
+		if r.hasFrac {
+			res.Frac10_20 = append(res.Frac10_20, r.frac1020)
+			res.Frac190_200 = append(res.Frac190_200, r.frac190_200)
 		}
-		add("SP", core.Throughput(inst, core.SchemeSP, src, dst, copts))
-		add("MP-2bp", core.Throughput(inst, core.SchemeMP2bp, src, dst, copts))
-		add("SP-WiFi", core.Throughput(inst, core.SchemeSPWiFi, src, dst, copts))
-		mw := core.Throughput(inst, core.SchemeMPmWiFi, src, dst, copts)
-		add("MP-mWiFi", mw)
-		// Brute-force single paths: max sustainable rate on the chosen
-		// single route (no margin, no estimation error).
-		if sp := routing.SinglePath(hybrid.Network, src, dst, routing.DefaultConfig()); sp != nil {
-			add("SP-bf", routing.RatePath(hybrid.Network, sp))
+		for _, e := range r.ratios {
+			res.Ratios[e.name] = append(res.Ratios[e.name], e.v)
 		}
-		wcfg := routing.DefaultConfig()
-		wcfg.UseCSC = false
-		if sp := routing.SinglePath(wifi.Network, src, dst, wcfg); sp != nil {
-			add("SP-WiFi-bf", routing.RatePath(wifi.Network, sp))
-		} else {
-			add("SP-WiFi-bf", 0)
+		if r.counted {
+			if r.mwBetter {
+				mwBetter++
+			}
+			n++
 		}
-		if mw < final {
-			mwBetter++
-		}
-		n++
 	}
 	if n > 0 {
 		res.EMPoWERBetterThanMWiFi = float64(mwBetter) / float64(n)
 	}
-	return res
+	return res, nil
 }
 
 func ratio0(a, b float64) float64 {
@@ -306,6 +373,15 @@ type Figure11Result struct {
 // EMPoWER, MP-mWiFi and SP (packet emulation for EMPoWER/SP on the hybrid
 // view and for MP-mWiFi on the dual-channel view).
 func Figure11(cfg TestbedConfig) Figure11Result {
+	res, _ := Figure11Ctx(context.Background(), cfg)
+	return res
+}
+
+// Figure11Ctx is Figure11 with cancellation: the flow pairs are selected
+// serially (the draw stream is shared and the validity check is cheap
+// next to an emulation), then every (pair, scheme) emulation runs on the
+// parallel runner and is folded back in pair-then-scheme order.
+func Figure11Ctx(ctx context.Context, cfg TestbedConfig) (Figure11Result, error) {
 	inst := testbedInstance(cfg.Seed + 11)
 	rng := stats.NewRand(cfg.Seed + 110)
 	res := Figure11Result{
@@ -322,28 +398,34 @@ func Figure11(cfg TestbedConfig) Figure11Result {
 		{"MP-mWiFi", core.SchemeMPmWiFi},
 		{"SP", core.SchemeSP},
 	}
-	for len(res.Pairs) < cfg.flows() {
+	var sel [][2]graph.NodeID
+	hybrid := inst.Build(topology.ViewHybrid)
+	for tried := 0; len(sel) < cfg.flows() && tried < cfg.flows()*40; tried++ {
 		src, dst := inst.RandomFlow(rng)
-		hybrid := inst.Build(topology.ViewHybrid)
 		if len(core.RoutesFor(core.SchemeEMPoWER, hybrid.Network, src, dst)) == 0 {
 			continue
 		}
+		sel = append(sel, [2]graph.NodeID{src, dst})
 		res.Pairs = append(res.Pairs, [2]int{int(src) + 1, int(dst) + 1})
-		for _, sr := range runs {
+	}
+
+	type cell struct{ mean, std float64 }
+	cells, err := runner.Collect(ctx, len(sel)*len(runs), cfg.runnerConfig(),
+		func(_ context.Context, rep runner.Rep) cell {
+			pair, sr := rep.Index/len(runs), runs[rep.Index%len(runs)]
+			src, dst := sel[pair][0], sel[pair][1]
 			view := inst.Build(sr.scheme.View())
 			routes := core.RoutesFor(sr.scheme, view.Network, src, dst)
 			if len(routes) == 0 {
-				res.Mean[sr.name] = append(res.Mean[sr.name], 0)
-				res.Std[sr.name] = append(res.Std[sr.name], 0)
-				continue
+				return cell{}
 			}
+			// The emulation seed keeps the serial loop's derivation:
+			// 1-based pair ordinal × 31 plus the scheme-name length.
 			em := node.NewEmulation(view.Network, node.Config{Delta: cfg.delta(), Estimation: true},
-				cfg.Seed+int64(len(res.Pairs))*31+int64(len(sr.name)))
+				cfg.Seed+int64(pair+1)*31+int64(len(sr.name)))
 			_, err := em.AddFlow(node.FlowSpec{Src: src, Dst: dst, Routes: routes, Kind: node.TrafficSaturated}, 0)
 			if err != nil {
-				res.Mean[sr.name] = append(res.Mean[sr.name], 0)
-				res.Std[sr.name] = append(res.Std[sr.name], 0)
-				continue
+				return cell{}
 			}
 			dur := cfg.duration()
 			em.Run(dur)
@@ -353,11 +435,17 @@ func Figure11(cfg TestbedConfig) Figure11Result {
 				tail = series[len(series)-int(dur/2):]
 			}
 			s := stats.Summarize(tail)
-			res.Mean[sr.name] = append(res.Mean[sr.name], s.Mean)
-			res.Std[sr.name] = append(res.Std[sr.name], s.Std)
-		}
+			return cell{mean: s.Mean, std: s.Std}
+		})
+	if err != nil {
+		return res, err
 	}
-	return res
+	for i, c := range cells {
+		name := runs[i%len(runs)].name
+		res.Mean[name] = append(res.Mean[name], c.mean)
+		res.Std[name] = append(res.Std[name], c.std)
+	}
+	return res, nil
 }
 
 // Render prints the bar-chart data.
@@ -402,6 +490,22 @@ type Table1Row struct {
 // 2 GB to 200 MB by default (wall-clock honesty; same contention
 // behaviour) — the scale is recorded in the row name.
 func Table1(cfg TestbedConfig) Table1Result {
+	res, _ := Table1Ctx(context.Background(), cfg)
+	return res
+}
+
+// t1run is one Table 1 download measurement; nil marks a repetition that
+// failed to complete within the cap.
+type t1run struct {
+	f613, f128 float64
+}
+
+// Table1Ctx is Table1 with cancellation. Every (row, repetition, scheme)
+// download is independent — the emulation seed depends only on those
+// coordinates — so all of them run on the parallel runner; the per-row
+// summaries are folded in repetition order, exactly as the serial loop
+// appended them.
+func Table1Ctx(ctx context.Context, cfg TestbedConfig) (Table1Result, error) {
 	inst := testbedInstance(cfg.Seed + 1)
 	net := inst.Build(topology.ViewHybrid)
 	const longBytes = 200_000_000
@@ -493,24 +597,42 @@ func Table1(cfg TestbedConfig) Table1Result {
 		return f613, f128, true
 	}
 
+	// One job per (row, repetition, scheme); index layout row-major so
+	// the fold below reads repetitions in serial-loop order.
+	repeats := cfg.repeats()
+	perRow := repeats * 2
+	outs, err := runner.Collect(ctx, 4*perRow, cfg.runnerConfig(),
+		func(_ context.Context, rep runner.Rep) *t1run {
+			row := rep.Index / perRow
+			rem := rep.Index % perRow
+			r, disableCC := rem/2, rem%2 == 1
+			if t1, t2, ok := measure(disableCC, r, row); ok {
+				return &t1run{f613: t1, f128: t2}
+			}
+			return nil
+		})
+	if err != nil {
+		return Table1Result{}, err
+	}
+
 	for row := range rows[:4] {
 		var empTimes, noccTimes []float64
 		var empConc, noccConc []float64
-		for rep := 0; rep < cfg.repeats(); rep++ {
-			if t1, t2, ok := measure(false, rep, row); ok {
-				empTimes = append(empTimes, t1)
+		for rep := 0; rep < repeats; rep++ {
+			if r := outs[row*perRow+rep*2]; r != nil {
+				empTimes = append(empTimes, r.f613)
 				if row == 3 {
-					empConc = append(empConc, t2)
+					empConc = append(empConc, r.f128)
 				}
 			}
-			if t1, t2, ok := measure(true, rep, row); ok {
-				noccTimes = append(noccTimes, t1)
+			if r := outs[row*perRow+rep*2+1]; r != nil {
+				noccTimes = append(noccTimes, r.f613)
 				if row == 3 {
-					noccConc = append(noccConc, t2)
+					noccConc = append(noccConc, r.f128)
 				}
 			}
 		}
-		rows[row].Repeats = cfg.repeats()
+		rows[row].Repeats = repeats
 		se, sn := stats.Summarize(empTimes), stats.Summarize(noccTimes)
 		rows[row].EMPoWERMean, rows[row].EMPoWERStd = se.Mean, se.Std
 		rows[row].WithoutCCMean, rows[row].WithoutCCStd = sn.Mean, sn.Std
@@ -518,10 +640,10 @@ func Table1(cfg TestbedConfig) Table1Result {
 			se, sn = stats.Summarize(empConc), stats.Summarize(noccConc)
 			rows[4].EMPoWERMean, rows[4].EMPoWERStd = se.Mean, se.Std
 			rows[4].WithoutCCMean, rows[4].WithoutCCStd = sn.Mean, sn.Std
-			rows[4].Repeats = cfg.repeats()
+			rows[4].Repeats = repeats
 		}
 	}
-	return Table1Result{Rows: rows}
+	return Table1Result{Rows: rows}, nil
 }
 
 // Render prints the table in the paper's layout.
@@ -552,6 +674,13 @@ type Figure12Result struct {
 // EMPoWER's two routes with δ = 0.3 and delay equalization for the
 // second half.
 func Figure12(cfg TestbedConfig) (Figure12Result, error) {
+	return Figure12Ctx(context.Background(), cfg)
+}
+
+// Figure12Ctx is Figure12 with cancellation. The two phases are separate
+// emulations with their own seeds, so they run as two replications on
+// the parallel runner.
+func Figure12Ctx(ctx context.Context, cfg TestbedConfig) (Figure12Result, error) {
 	inst := testbedInstance(cfg.Seed + 12)
 	net := inst.Build(topology.ViewHybrid)
 	dur := cfg.duration() * 2
@@ -568,25 +697,34 @@ func Figure12(cfg TestbedConfig) (Figure12Result, error) {
 		mpRoutes = mpRoutes[:2]
 	}
 
-	// Phase 1: TCP over the single path without CC.
-	em1 := node.NewEmulation(net.Network, node.Config{DisableCC: true, Estimation: true}, cfg.Seed+120)
-	c1, err := transport.Dial(em1, nodeID(9), nodeID(13), spRoutes[:1], -1, transport.Config{}, 0)
+	series, err := runner.Run(ctx, 2, cfg.runnerConfig(),
+		func(_ context.Context, rep runner.Rep) ([]float64, error) {
+			var em *node.Emulation
+			var routes []graph.Path
+			if rep.Index == 0 {
+				// Phase 1: TCP over the single path without CC.
+				em = node.NewEmulation(net.Network, node.Config{DisableCC: true, Estimation: true}, cfg.Seed+120)
+				routes = spRoutes[:1]
+			} else {
+				// Phase 2: TCP over EMPoWER multipath with δ=0.3 + delay
+				// equalization.
+				em = node.NewEmulation(net.Network, node.Config{
+					Delta: 0.3, DelayEqualize: true, Estimation: true,
+				}, cfg.Seed+121)
+				routes = mpRoutes
+			}
+			c, err := transport.Dial(em, nodeID(9), nodeID(13), routes, -1, transport.Config{}, 0)
+			if err != nil {
+				return nil, err
+			}
+			em.Run(half)
+			_, s := em.Agent(nodeID(13)).SinkFor(nodeID(9), c.Forward.ID).RateSeries(1.0)
+			return s, nil
+		})
 	if err != nil {
 		return res, err
 	}
-	em1.Run(half)
-	_, s1 := em1.Agent(nodeID(13)).SinkFor(nodeID(9), c1.Forward.ID).RateSeries(1.0)
-
-	// Phase 2: TCP over EMPoWER multipath with δ=0.3 + delay equalization.
-	em2 := node.NewEmulation(net.Network, node.Config{
-		Delta: 0.3, DelayEqualize: true, Estimation: true,
-	}, cfg.Seed+121)
-	c2, err := transport.Dial(em2, nodeID(9), nodeID(13), mpRoutes, -1, transport.Config{}, 0)
-	if err != nil {
-		return res, err
-	}
-	em2.Run(half)
-	_, s2 := em2.Agent(nodeID(13)).SinkFor(nodeID(9), c2.Forward.ID).RateSeries(1.0)
+	s1, s2 := series[0], series[1]
 
 	for i, v := range s1 {
 		res.Times = append(res.Times, float64(i)+0.5)
@@ -641,12 +779,26 @@ type Figure13Result struct {
 // deviation for random flows that use two routes under EMPoWER (δ = 0.3)
 // versus single-path TCP without congestion control.
 func Figure13(cfg TestbedConfig) Figure13Result {
+	res, _ := Figure13Ctx(context.Background(), cfg)
+	return res
+}
+
+// Figure13Ctx is Figure13 with cancellation. Route computation doubles as
+// the pair filter and consumes a shared RNG stream, so selection stays
+// serial; the TCP emulations — two per selected pair, by far the
+// dominant cost — run on the parallel runner.
+func Figure13Ctx(ctx context.Context, cfg TestbedConfig) (Figure13Result, error) {
 	inst := testbedInstance(cfg.Seed + 13)
 	net := inst.Build(topology.ViewHybrid)
 	rng := stats.NewRand(cfg.Seed + 130)
 	res := Figure13Result{}
+	type pick struct {
+		src, dst graph.NodeID
+		mp, sp   []graph.Path
+	}
+	var sel []pick
 	tried := 0
-	for len(res.Pairs) < cfg.flows() && tried < cfg.flows()*40 {
+	for len(sel) < cfg.flows() && tried < cfg.flows()*40 {
 		tried++
 		src, dst := inst.RandomFlow(rng)
 		mp := core.RoutesFor(core.SchemeEMPoWER, net.Network, src, dst)
@@ -660,41 +812,47 @@ func Figure13(cfg TestbedConfig) Figure13Result {
 		if routing.RatePath(net.Network, sp[0]) > 60 {
 			continue
 		}
-		mp = mp[:2]
+		sel = append(sel, pick{src: src, dst: dst, mp: mp[:2], sp: sp})
 		res.Pairs = append(res.Pairs, [2]int{int(src) + 1, int(dst) + 1})
+	}
 
-		run := func(emp bool) (float64, float64) {
+	type cell struct{ mean, std float64 }
+	cells, err := runner.Collect(ctx, len(sel)*2, cfg.runnerConfig(),
+		func(_ context.Context, rep runner.Rep) cell {
+			p, emp := sel[rep.Index/2], rep.Index%2 == 0
 			var cfgN node.Config
 			if emp {
 				cfgN = node.Config{Delta: 0.3, DelayEqualize: true, Estimation: true}
 			} else {
 				cfgN = node.Config{DisableCC: true, Estimation: true}
 			}
-			em := node.NewEmulation(net.Network, cfgN, cfg.Seed+int64(len(res.Pairs))*71+boolInt64(emp))
-			var rs []graph.Path
+			// The emulation seed keeps the serial loop's derivation:
+			// 1-based pair ordinal × 71 plus the scheme bit.
+			em := node.NewEmulation(net.Network, cfgN, cfg.Seed+int64(rep.Index/2+1)*71+boolInt64(emp))
+			rs := p.sp[:1]
 			if emp {
-				rs = mp
-			} else {
-				rs = sp[:1]
+				rs = p.mp
 			}
-			conn, err := transport.Dial(em, src, dst, rs, -1, transport.Config{}, 0)
+			conn, err := transport.Dial(em, p.src, p.dst, rs, -1, transport.Config{}, 0)
 			if err != nil {
-				return 0, 0
+				return cell{}
 			}
 			dur := cfg.duration()
 			em.Run(dur)
-			_, series := em.Agent(dst).SinkFor(src, conn.Forward.ID).RateSeries(1.0)
+			_, series := em.Agent(p.dst).SinkFor(p.src, conn.Forward.ID).RateSeries(1.0)
 			s := stats.Summarize(tailHalf(series))
-			return s.Mean, s.Std
-		}
-		m, sd := run(true)
-		res.EMPoWERMean = append(res.EMPoWERMean, m)
-		res.EMPoWERStd = append(res.EMPoWERStd, sd)
-		m, sd = run(false)
-		res.SPMean = append(res.SPMean, m)
-		res.SPStd = append(res.SPStd, sd)
+			return cell{mean: s.Mean, std: s.Std}
+		})
+	if err != nil {
+		return res, err
 	}
-	return res
+	for i := 0; i < len(cells); i += 2 {
+		res.EMPoWERMean = append(res.EMPoWERMean, cells[i].mean)
+		res.EMPoWERStd = append(res.EMPoWERStd, cells[i].std)
+		res.SPMean = append(res.SPMean, cells[i+1].mean)
+		res.SPStd = append(res.SPStd, cells[i+1].std)
+	}
+	return res, nil
 }
 
 func boolInt64(b bool) int64 {

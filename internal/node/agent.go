@@ -1,6 +1,8 @@
 package node
 
 import (
+	"sort"
+
 	"repro/internal/graph"
 	"repro/internal/linkest"
 	"repro/internal/mac"
@@ -88,10 +90,14 @@ func (a *Agent) est0ProbeInterval() float64 {
 	return 0.25
 }
 
-// probeTick samples every idle egress link at probe precision.
+// probeTick samples every idle egress link at probe precision. Links are
+// visited in the network's egress order, not map order: each sample
+// draws from the emulation's RNG, so the visit order must be a pure
+// function of the seed for runs to be reproducible.
 func (a *Agent) probeTick() {
 	now := a.em.Engine.Now()
-	for l, e := range a.est {
+	for _, l := range a.em.Net.Out(a.id) {
+		e := a.est[l]
 		if e.Mode() == linkest.ModeProbe {
 			cap := a.em.Net.Link(l).Capacity
 			if cap > 0 {
@@ -161,13 +167,28 @@ func (a *Agent) addPrice(l graph.LinkID, h *wire.Header) {
 func (a *Agent) priceTerm(l graph.LinkID) float64 {
 	tech := a.em.Net.Link(l).Tech
 	gsum := a.ownGammaSum(tech)
-	now := a.em.Engine.Now()
-	for _, rep := range a.reports[tech] {
-		if now-rep.heardAt <= a.em.cfg.reportStale() {
-			gsum += rep.gammaSum
+	a.freshReports(tech, a.em.Engine.Now(), func(rep *neighborReport) {
+		gsum += rep.gammaSum
+	})
+	return a.em.dEstimate(l) * gsum
+}
+
+// freshReports visits the technology's unexpired neighbor reports in
+// ascending node order. Reports live in a map, and several callers
+// accumulate floats over them — iteration order must be reproducible
+// for runs to be seed-deterministic.
+func (a *Agent) freshReports(tech graph.Tech, now float64, fn func(*neighborReport)) {
+	reps := a.reports[tech]
+	ids := make([]int, 0, len(reps))
+	for n := range reps {
+		ids = append(ids, int(n))
+	}
+	sort.Ints(ids)
+	for _, n := range ids {
+		if rep := reps[graph.NodeID(n)]; now-rep.heardAt <= a.em.cfg.reportStale() {
+			fn(rep)
 		}
 	}
-	return a.em.dEstimate(l) * gsum
 }
 
 func (a *Agent) ownGammaSum(tech graph.Tech) float64 {
@@ -204,19 +225,24 @@ func (a *Agent) ownAirtime(tech graph.Tech) float64 {
 func (a *Agent) priceTick() {
 	now := a.em.Engine.Now()
 	limit := 1 - a.effectiveDelta()
-	techs := map[graph.Tech]bool{}
+	// Technologies in first-seen egress order (not map order): the
+	// per-tech price broadcasts schedule engine events, so their order
+	// must be reproducible.
+	var techs []graph.Tech
+	seen := map[graph.Tech]bool{}
 	for _, l := range a.em.Net.Out(a.id) {
-		techs[a.em.Net.Link(l).Tech] = true
+		if tech := a.em.Net.Link(l).Tech; !seen[tech] {
+			seen[tech] = true
+			techs = append(techs, tech)
+		}
 	}
-	for tech := range techs {
+	for _, tech := range techs {
 		// y for this node's links of `tech`: own demand + fresh reports +
 		// carrier-sensed external airtime (§4.3).
 		y := a.ownAirtime(tech)
-		for _, rep := range a.reports[tech] {
-			if now-rep.heardAt <= a.em.cfg.reportStale() {
-				y += rep.airtime
-			}
-		}
+		a.freshReports(tech, now, func(rep *neighborReport) {
+			y += rep.airtime
+		})
 		y += a.measureExternal(tech)
 		for _, l := range a.em.Net.Out(a.id) {
 			if a.em.Net.Link(l).Tech != tech {
@@ -310,12 +336,20 @@ func (a *Agent) SinkFor(src graph.NodeID, flowID uint16) *Sink {
 	return a.sinkFor(src, flowID)
 }
 
-// Sinks lists the sinks terminating at this node (for measurements).
+// Sinks lists the sinks terminating at this node (for measurements),
+// ordered by (source node, flow ID) so callers that index into the
+// result select the same sink every run.
 func (a *Agent) Sinks() []*Sink {
 	out := make([]*Sink, 0, len(a.sinks))
 	for _, s := range a.sinks {
 		out = append(out, s)
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].src != out[j].src {
+			return out[i].src < out[j].src
+		}
+		return out[i].flowID < out[j].flowID
+	})
 	return out
 }
 

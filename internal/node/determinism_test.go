@@ -1,0 +1,105 @@
+package node
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// trajectoryFingerprint replays a Figure 9-shaped scenario — a
+// saturated multipath flow plus a contending single-path flow joining
+// mid-run, which is where price broadcasts and neighbor-report sums
+// actually interact — and hashes the exact bits of the delivered-rate
+// series of both sinks.
+func trajectoryFingerprint(t *testing.T) string {
+	t.Helper()
+	inst := topology.Testbed(stats.NewRand(20), topology.Config{})
+	net := inst.Build(topology.ViewHybrid)
+	em := NewEmulation(net.Network, Config{Delta: 0.05, Estimation: true}, 90)
+	routes1 := routing.Multipath(net.Network, 0, 12, routing.DefaultConfig()).Paths
+	routes2 := routing.Multipath(net.Network, 3, 6, routing.DefaultConfig()).Paths
+	if len(routes1) == 0 || len(routes2) == 0 {
+		t.Fatal("no routes on this channel realization")
+	}
+	if len(routes1) > 2 {
+		routes1 = routes1[:2]
+	}
+	if _, err := em.AddFlow(FlowSpec{Src: 0, Dst: 12, Routes: routes1, Kind: TrafficSaturated}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := em.AddFlow(FlowSpec{Src: 3, Dst: 6, Routes: routes2[:1], Kind: TrafficSaturated}, 8); err != nil {
+		t.Fatal(err)
+	}
+	em.Run(25)
+	h := fnv.New64a()
+	for _, dst := range []int{12, 6} {
+		_, series := em.Agent(graph.NodeID(dst)).Sinks()[0].RateSeries(0.5)
+		if len(series) == 0 {
+			t.Fatal("no rate series")
+		}
+		for _, v := range series {
+			var buf [8]byte
+			bits := math.Float64bits(v)
+			for i := range buf {
+				buf[i] = byte(bits >> (8 * i))
+			}
+			h.Write(buf[:])
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// TestEmulationSeedDeterminismAcrossProcesses pins the reproducibility
+// contract the parallel runner depends on: the same seed must produce
+// bit-identical trajectories in separate processes. The historical
+// failure modes were map iterations wherever the emulation draws from
+// its RNG, accumulates floats, or schedules events (probe-mode
+// estimation, price broadcasts, neighbor-report sums, sink listings):
+// Go's per-process map hash seed changes the iteration order between
+// processes, so any such site makes trajectories diverge run to run
+// while looking stable within one process. The test therefore re-executes
+// itself in child processes and compares their fingerprints.
+func TestEmulationSeedDeterminismAcrossProcesses(t *testing.T) {
+	const childMark = "trajectory:"
+	if os.Getenv("EMU_TRAJ_CHILD") == "1" {
+		fmt.Println(childMark + trajectoryFingerprint(t))
+		return
+	}
+	if testing.Short() {
+		t.Skip("spawns testbed emulations in child processes")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	child := func() string {
+		cmd := exec.Command(exe, "-test.run", "TestEmulationSeedDeterminismAcrossProcesses$", "-test.count=1")
+		cmd.Env = append(os.Environ(), "EMU_TRAJ_CHILD=1")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("child run: %v\n%s", err, out)
+		}
+		for _, line := range strings.Split(string(out), "\n") {
+			if rest, ok := strings.CutPrefix(line, childMark); ok {
+				return rest
+			}
+		}
+		t.Fatalf("child printed no fingerprint:\n%s", out)
+		return ""
+	}
+	first := child()
+	for trial := 0; trial < 2; trial++ {
+		if again := child(); again != first {
+			t.Fatalf("trajectory fingerprint changed across processes: %s vs %s (seed-determinism regression)", first, again)
+		}
+	}
+}

@@ -143,7 +143,31 @@ type Emulation struct {
 	cfg   Config
 	rng   *rand.Rand
 	flows []*Flow
+	// meta carries opaque payload metadata next to in-flight frames.
+	// Frames are short-lived; entries are removed on consumption. The
+	// table is per-emulation so independent emulations can run on
+	// parallel runner workers without sharing any mutable state.
+	meta map[*wire.DataFrame]interface{}
 }
+
+// stashMeta attaches transport metadata to an in-flight frame.
+func (e *Emulation) stashMeta(df *wire.DataFrame, meta interface{}) {
+	if meta != nil {
+		e.meta[df] = meta
+	}
+}
+
+// takeMeta consumes a frame's metadata entry on delivery.
+func (e *Emulation) takeMeta(df *wire.DataFrame) interface{} {
+	m, ok := e.meta[df]
+	if ok {
+		delete(e.meta, df)
+	}
+	return m
+}
+
+// dropMeta releases a dropped frame's metadata entry.
+func (e *Emulation) dropMeta(df *wire.DataFrame) { delete(e.meta, df) }
 
 // NewEmulation builds the emulated network.
 func NewEmulation(net *graph.Network, cfg Config, seed int64) *Emulation {
@@ -152,6 +176,7 @@ func NewEmulation(net *graph.Network, cfg Config, seed int64) *Emulation {
 		Net:    net,
 		cfg:    cfg,
 		rng:    rand.New(rand.NewSource(seed)),
+		meta:   map[*wire.DataFrame]interface{}{},
 	}
 	e.MAC = mac.New(e.Engine, net, e.rng, mac.Options{QueueLimit: cfg.queueLimit()})
 	e.MAC.Deliver = e.deliver
@@ -159,7 +184,7 @@ func NewEmulation(net *graph.Network, cfg Config, seed int64) *Emulation {
 		// Release transport metadata attached to frames the MAC dropped
 		// (delivered frames release it at the sink).
 		if df, ok := pkt.Payload.(*wire.DataFrame); ok {
-			dropMeta(df)
+			e.dropMeta(df)
 		}
 	}
 	e.Agents = make([]*Agent, net.NumNodes())

@@ -1,6 +1,8 @@
 package node
 
 import (
+	"sort"
+
 	"repro/internal/graph"
 	"repro/internal/mac"
 )
@@ -102,8 +104,18 @@ func (a *Agent) measureExternal(tech graph.Tech) float64 {
 			busyByNode[a.em.Net.Link(l).From] += delta / interval
 		}
 	}
+	// Accumulate in ascending node order: float addition is not
+	// associative, so map-order iteration would make runs diverge in
+	// the low bits and compound through the price feedback loop.
+	nodes := make([]int, 0, len(busyByNode))
+	for n := range busyByNode {
+		nodes = append(nodes, int(n))
+	}
+	sort.Ints(nodes)
 	var external float64
-	for n, busy := range busyByNode {
+	for _, ni := range nodes {
+		n := graph.NodeID(ni)
+		busy := busyByNode[n]
 		var claimed float64
 		if n == a.id {
 			claimed = a.ownAirtime(tech)

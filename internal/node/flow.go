@@ -414,25 +414,8 @@ func (f *Flow) seedRates() {
 // metaStash attaches transport metadata to the frame (carried out of band
 // of the binary encoding, as payload contents).
 func (f *Flow) metaStash(df *wire.DataFrame, meta interface{}) {
-	if meta != nil {
-		metaTable[df] = meta
-	}
+	f.em.stashMeta(df, meta)
 }
-
-// metaTable carries opaque payload metadata next to frames. Frames are
-// short-lived; entries are removed on consumption.
-var metaTable = map[*wire.DataFrame]interface{}{}
-
-func takeMeta(df *wire.DataFrame) interface{} {
-	m, ok := metaTable[df]
-	if ok {
-		delete(metaTable, df)
-	}
-	return m
-}
-
-// dropMeta releases a dropped frame's metadata entry.
-func dropMeta(df *wire.DataFrame) { delete(metaTable, df) }
 
 // onAck applies the §4.3 proximal update per acknowledged route and
 // advances the reliable-transfer confirmation counter.

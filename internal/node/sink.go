@@ -102,7 +102,7 @@ func (s *Sink) onData(f *wire.DataFrame) {
 	}
 	s.delivered[r] += uint32(f.PayloadLen)
 
-	meta := takeMeta(f)
+	meta := s.agent.em.takeMeta(f)
 
 	// Delay equalization: delay fast-route packets so that all routes
 	// show approximately the slowest route's delay (§6.4), reducing TCP

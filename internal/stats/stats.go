@@ -204,6 +204,20 @@ func NewRand(seed int64) *rand.Rand {
 	return rand.New(rand.NewSource(seed))
 }
 
+// SplitSeed derives the seed of replication index from a base seed, so a
+// parallel sweep can hand every replication its own independent RNG
+// stream (NewRand(SplitSeed(base, i))) without the streams overlapping
+// the way raw base+i seeding of adjacent sweeps does. The mix is the
+// splitmix64 finalizer over the base advanced by the golden-gamma
+// increment; the result depends only on (base, index), never on
+// scheduling, so it is safe for any worker count.
+func SplitSeed(base int64, index int) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*(uint64(index)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
 // TruncNormal draws from a normal distribution with the given mean and
 // standard deviation, truncated to [lo, hi] by resampling (with a bounded
 // number of attempts, falling back to clamping).
