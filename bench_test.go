@@ -10,6 +10,7 @@ package empower
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"testing"
 
 	"repro/internal/core"
@@ -149,6 +150,7 @@ func BenchmarkRoutingN5(b *testing.B) {
 	net := inst.Build(topology.ViewHybrid)
 	rng := stats.NewRand(2)
 	src, dst := inst.RandomFlow(rng)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		routing.Multipath(net.Network, src, dst, routing.DefaultConfig())
@@ -166,6 +168,7 @@ func BenchmarkAblationNShortest(b *testing.B) {
 		cfg := routing.DefaultConfig()
 		cfg.N = n
 		b.Run(benchName("n", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				routing.Multipath(net.Network, src, dst, cfg)
 			}
@@ -188,6 +191,7 @@ func BenchmarkAblationCSC(b *testing.B) {
 			name = "csc-off"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				routing.SinglePath(net.Network, src, dst, cfg)
 			}
@@ -219,6 +223,7 @@ func BenchmarkControllerSlot(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ctrl.Step()
@@ -280,5 +285,5 @@ func BenchmarkEmulationSecond(b *testing.B) {
 }
 
 func benchName(prefix string, n int) string {
-	return prefix + "=" + string(rune('0'+n))
+	return prefix + "=" + strconv.Itoa(n)
 }

@@ -106,6 +106,8 @@ type Controller struct {
 	load  []float64 // per-link traffic Σ_{r∋l} x_r (scratch)
 	y     []float64 // per-link airtime demand in I_l (scratch)
 	q     []float64 // per-route prices
+	newX  []float64 // next-slot rates (scratch for the proximal update)
+	frate []float64 // per-flow total rates (scratch, recomputed per slot)
 
 	// ExternalLoad can be set to per-link rates (Mbps) injected by
 	// non-EMPoWER stations; the controller measures and respects them
@@ -199,6 +201,8 @@ func New(net *graph.Network, routes []Route, opts Options) (*Controller, error) 
 	c.load = make([]float64, net.NumLinks())
 	c.y = make([]float64, net.NumLinks())
 	c.q = make([]float64, len(routes))
+	c.newX = make([]float64, len(routes))
+	c.frate = make([]float64, c.flows)
 	return c, nil
 }
 
@@ -339,22 +343,25 @@ func (c *Controller) Step() {
 		// the equivalently-maximized objective Σ S·U_f − S/2 Σ (x−x̄)²
 		// expressed in normalized prices q/S, and it moves the rates at a
 		// practical Mbps-per-slot speed. The fixed point U'_f(x_f) = q_r
-		// for active routes is unchanged.
+		// for active routes is unchanged. The flow rates are computed once
+		// per slot (x does not change inside the loop; newX is scratch).
 		scale := c.opts.UtilityScale
-		newX := make([]float64, len(c.x))
+		for f := 0; f < c.flows; f++ {
+			c.frate[f] = c.FlowRate(f)
+		}
 		for i := range c.routes {
 			f := c.flowOf[i]
-			inner := c.xbar[i] + scale*(c.util[f].Prime(c.FlowRate(f))-c.q[i])
+			inner := c.xbar[i] + scale*(c.util[f].Prime(c.frate[f])-c.q[i])
 			if inner < 0 {
 				inner = 0
 			}
 			nx := (1-alpha)*c.x[i] + alpha*inner
-			newX[i] = c.capRate(i, nx)
+			c.newX[i] = c.capRate(i, nx)
 		}
 		for i := range c.xbar {
 			c.xbar[i] = (1-alpha)*c.xbar[i] + alpha*c.x[i]
 		}
-		copy(c.x, newX)
+		copy(c.x, c.newX)
 	}
 	c.t++
 }
@@ -373,12 +380,21 @@ func (c *Controller) capRate(i int, x float64) float64 {
 }
 
 // Run advances n slots and returns the trajectory of per-flow total rates:
-// out[t][f] is flow f's rate after slot t.
+// out[t][f] is flow f's rate after slot t. The rows share one backing
+// array, so a whole trajectory costs two allocations instead of n+1.
 func (c *Controller) Run(n int) [][]float64 {
 	out := make([][]float64, n)
+	if n <= 0 {
+		return out
+	}
+	flat := make([]float64, n*c.flows)
 	for t := 0; t < n; t++ {
 		c.Step()
-		out[t] = c.FlowRates()
+		row := flat[t*c.flows : (t+1)*c.flows : (t+1)*c.flows]
+		for f := range row {
+			row[f] = c.FlowRate(f)
+		}
+		out[t] = row
 	}
 	return out
 }

@@ -214,13 +214,8 @@ func Evaluate(inst *topology.Instance, s Scheme, pairs [][2]graph.NodeID, opts O
 		// starting is what gives the paper's tens-of-slots convergence.
 		initial := make([]float64, 0, len(ccRoutes))
 		for _, routes := range routesPerFlow {
-			g := net.Network
-			for _, p := range routes {
-				r := routing.RatePath(g, p)
+			for _, r := range routing.SequentialRates(net.Network, routes) {
 				initial = append(initial, 0.7*r)
-				if r > 0 {
-					g = routing.Update(g, p)
-				}
 			}
 		}
 		ctrl, err := congestion.New(net.Network, ccRoutes, congestion.Options{

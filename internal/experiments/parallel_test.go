@@ -32,6 +32,27 @@ func TestFigure4ParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestFigure6ParallelDeterminism covers the optimality-ratio sweep. It
+// also pins the centralized solver itself: optimal.Solve once iterated its
+// constraint coefficient maps directly, which made every airtime sum
+// follow Go's randomized map order and the ratios differ in the last bits
+// from run to run — caught here by exact-bits comparison of two sweeps.
+func TestFigure6ParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure 6 solves two centralized baselines per replication")
+	}
+	base := SimConfig{Runs: 4, Seed: 11, Core: core.Options{Slots: 1500}}
+	serial := base
+	serial.Parallel = 1
+	wide := base
+	wide.Parallel = 8
+	r1 := Figure6(TopoResidential, serial)
+	r8 := Figure6(TopoResidential, wide)
+	if !reflect.DeepEqual(r1.Ratios, r8.Ratios) {
+		t.Fatalf("Figure6 ratios differ across worker counts:\n  parallel=1: %+v\n  parallel=8: %+v", r1.Ratios, r8.Ratios)
+	}
+}
+
 // TestConvergenceParallelDeterminism covers the early-stop sweep: the
 // wave dispatch must accept exactly the candidates the serial loop
 // accepted, in the same order, for any worker count.

@@ -455,16 +455,13 @@ func ConvergenceCtx(ctx context.Context, t Topo, cfg SimConfig) (ConvergenceResu
 		// EMPoWER controller with the paper's α heuristic, warm-started
 		// at the routing procedure's assumed loading (as the real source
 		// is: it computed R(P) per route during route selection).
-		var ccRoutes []congestion.Route
-		var initial []float64
-		g := net.Network
-		for _, p := range routes {
-			ccRoutes = append(ccRoutes, congestion.Route{Links: p, Flow: 0})
-			r := routing.RatePath(g, p)
-			initial = append(initial, 0.7*r)
-			if r > 0 {
-				g = routing.Update(g, p)
-			}
+		ccRoutes := make([]congestion.Route, len(routes))
+		for i, p := range routes {
+			ccRoutes[i] = congestion.Route{Links: p, Flow: 0}
+		}
+		initial := routing.SequentialRates(net.Network, routes)
+		for i := range initial {
+			initial[i] *= 0.7
 		}
 		tuner := congestion.NewAlphaTuner(0.02, len(routes), longest)
 		ctrl, err := congestion.New(net.Network, ccRoutes, congestion.Options{

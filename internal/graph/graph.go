@@ -155,14 +155,12 @@ func (m RangeBased) Interferes(net *Network, a, b *Link) bool {
 	if !ok {
 		return true
 	}
-	for _, u := range []NodeID{a.From, a.To} {
-		for _, v := range []NodeID{b.From, b.To} {
-			if net.Distance(u, v) <= r {
-				return true
-			}
-		}
-	}
-	return false
+	// The four endpoint pairs spelled out: this runs inside Build's O(L²)
+	// loop, so it must not allocate.
+	return net.Distance(a.From, b.From) <= r ||
+		net.Distance(a.From, b.To) <= r ||
+		net.Distance(a.To, b.From) <= r ||
+		net.Distance(a.To, b.To) <= r
 }
 
 // Name implements InterferenceModel.

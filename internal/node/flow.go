@@ -396,18 +396,13 @@ func (f *Flow) sendPacket(r int, payloadBytes int, meta interface{}) {
 // reaching near-target rates within seconds (Figure 9/10-right); the
 // controller then trims against the measured prices.
 func (f *Flow) seedRates() {
-	g := f.em.Net
-	for i, p := range f.routes {
-		r := routingRate(g, p)
+	for i, r := range routing.SequentialRates(f.em.Net, f.routes) {
 		x := 0.85 * r
 		if x < f.em.cfg.initialRate() {
 			x = f.em.cfg.initialRate()
 		}
 		f.x[i] = x
 		f.xbar[i] = x
-		if r > 0 {
-			g = routingUpdate(g, p)
-		}
 	}
 }
 
@@ -508,9 +503,3 @@ func (s *seriesLog) series(bin float64) ([]float64, []float64) {
 	}
 	return ts, rates
 }
-
-// routingRate and routingUpdate are thin aliases keeping the routing
-// dependency localized.
-func routingRate(g *graph.Network, p graph.Path) float64 { return routing.RatePath(g, p) }
-
-func routingUpdate(g *graph.Network, p graph.Path) *graph.Network { return routing.Update(g, p) }

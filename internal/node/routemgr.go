@@ -66,15 +66,11 @@ func (e *Emulation) EstimatedNetwork() *graph.Network {
 // the combination total of loading each route in sequence on the
 // residual graph (the §3.2 accounting).
 func (m *RouteManager) currentTotal(view *graph.Network) float64 {
-	g := view
 	var total float64
-	for _, p := range m.flow.routes {
-		r := routing.RatePath(g, p)
-		if r <= 0 {
-			continue
+	for _, r := range routing.SequentialRates(view, m.flow.routes) {
+		if r > 0 {
+			total += r
 		}
-		total += r
-		g = routing.Update(g, p)
 	}
 	return total
 }

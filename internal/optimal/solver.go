@@ -3,6 +3,7 @@ package optimal
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/congestion"
 )
@@ -130,17 +131,31 @@ func Solve(p Problem, opts SolveOptions) (Solution, error) {
 		}
 	}
 
-	// Transpose the constraints for the price computation.
-	routeCons := make([][]int, n)     // route -> constraint indices
-	routeCoef := make([][]float64, n) // route -> coefficients
+	// Densify the constraints once, with route indices sorted: iterating
+	// the Coef maps directly would make every airtime sum follow Go's
+	// randomized map order, i.e. a different float summation order — and a
+	// different 16th decimal — on every run. Sorted slices make the solver
+	// deterministic and keep map lookups out of the iteration loop.
+	conIdx := make([][]int, len(p.Constraints))     // constraint -> route indices
+	conCoef := make([][]float64, len(p.Constraints)) // constraint -> coefficients
+	routeCons := make([][]int, n)                   // route -> constraint indices
+	routeCoef := make([][]float64, n)               // route -> coefficients
 	for c, con := range p.Constraints {
-		for r, coef := range con.Coef {
+		idx := make([]int, 0, len(con.Coef))
+		for r := range con.Coef {
 			if r < 0 || r >= n {
 				return Solution{}, fmt.Errorf("optimal: constraint %d references route %d out of range", c, r)
 			}
-			routeCons[r] = append(routeCons[r], c)
-			routeCoef[r] = append(routeCoef[r], coef)
+			idx = append(idx, r)
 		}
+		sort.Ints(idx)
+		cf := make([]float64, len(idx))
+		for i, r := range idx {
+			cf[i] = con.Coef[r]
+			routeCons[r] = append(routeCons[r], c)
+			routeCoef[r] = append(routeCoef[r], con.Coef[r])
+		}
+		conIdx[c], conCoef[c] = idx, cf
 	}
 
 	alpha, gain := opts.step(), opts.gain()
@@ -190,13 +205,13 @@ func Solve(p Problem, opts SolveOptions) (Solution, error) {
 		for c := range usage {
 			usage[c] = 0
 		}
-		for c, con := range p.Constraints {
+		for c := range conIdx {
 			var u float64
-			for r, coef := range con.Coef {
-				u += coef * x[r]
+			for i, r := range conIdx[c] {
+				u += conCoef[c][i] * x[r]
 			}
 			usage[c] = u
-			l := lambda[c] + alpha*(u-con.Bound)
+			l := lambda[c] + alpha*(u-p.Constraints[c].Bound)
 			if l < 0 {
 				l = 0
 			}
@@ -245,13 +260,13 @@ func Solve(p Problem, opts SolveOptions) (Solution, error) {
 
 	// Project onto feasibility by uniform scaling if needed.
 	worst := 0.0
-	for c, con := range p.Constraints {
+	for c := range conIdx {
 		var u float64
-		for r, coef := range con.Coef {
-			u += coef * x[r]
+		for i, r := range conIdx[c] {
+			u += conCoef[c][i] * x[r]
 		}
-		if con.Bound > 0 && u/con.Bound > worst {
-			worst = u / con.Bound
+		if b := p.Constraints[c].Bound; b > 0 && u/b > worst {
+			worst = u / b
 		}
 		usage[c] = u
 	}
@@ -269,12 +284,12 @@ func Solve(p Problem, opts SolveOptions) (Solution, error) {
 		sol.Utility += util[f].Value(sol.FlowRates[f])
 	}
 	sol.MaxViolation = math.Inf(-1)
-	for _, con := range p.Constraints {
+	for c := range conIdx {
 		var u float64
-		for r, coef := range con.Coef {
-			u += coef * x[r]
+		for i, r := range conIdx[c] {
+			u += conCoef[c][i] * x[r]
 		}
-		if v := u - con.Bound; v > sol.MaxViolation {
+		if v := u - p.Constraints[c].Bound; v > sol.MaxViolation {
 			sol.MaxViolation = v
 		}
 	}

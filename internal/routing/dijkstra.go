@@ -1,7 +1,6 @@
 package routing
 
 import (
-	"container/heap"
 	"math"
 
 	"repro/internal/graph"
@@ -10,173 +9,133 @@ import (
 // noTech marks the absence of an ingress technology (the path source).
 const noTech graph.Tech = -1
 
-// searchConstraints restricts a shortest-path search; used by Yen's
-// algorithm for spur-path computations.
-type searchConstraints struct {
-	bannedLinks map[graph.LinkID]bool
-	bannedNodes map[graph.NodeID]bool
-	// ingress is the technology of the link entering the search source
-	// (noTech when the source is the true path source). It determines the
-	// CSC applied to the first hop of the result.
-	ingress graph.Tech
-}
-
-// vstate is a vertex of the virtual interface graph: a node together with
-// the technology of the link used to enter it.
-type vstate struct {
-	node graph.NodeID
-	in   graph.Tech // noTech at the source
-}
-
-type pqItem struct {
-	state vstate
-	dist  float64
-	index int
-}
-
-type priorityQueue []*pqItem
-
-func (q priorityQueue) Len() int           { return len(q) }
-func (q priorityQueue) Less(i, j int) bool { return q[i].dist < q[j].dist }
-func (q priorityQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i]; q[i].index = i; q[j].index = j }
-func (q *priorityQueue) Push(x interface{}) {
-	it := x.(*pqItem)
-	it.index = len(*q)
-	*q = append(*q, it)
-}
-func (q *priorityQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return it
-}
-
 // dijkstra runs the single-path procedure of §3.1 on the virtual graph of
-// interfaces from src to dst, honoring the search constraints. It returns
-// the best path and its weight, or (nil, +Inf) if dst is unreachable.
+// interfaces from src to dst under the capacity overlay capv. It returns
+// the best path and its weight, or (nil, +Inf) if dst is unreachable. The
+// returned path aliases ws.pathBuf; callers copy it before the next search.
 //
 // States are (node, ingress technology) pairs so that the channel-switching
 // cost — which depends on the ingress and egress technologies at each
 // intermediate node — is Markovian and Dijkstra applies. Link weights and
 // CSCs are non-negative, so the isotonicity requirement of §3.1 holds.
-func dijkstra(net *graph.Network, src, dst graph.NodeID, cfg Config, cons searchConstraints) (graph.Path, float64) {
-	dist := make(map[vstate]float64)
-	prevLink := make(map[vstate]graph.LinkID)
-	prevState := make(map[vstate]vstate)
-	hops := make(map[vstate]int)
+// States are flattened to node*stride + tech + 1 so the distance, parent
+// and visited sets are epoch-stamped slices rather than maps; together with
+// a heap that replicates container/heap's sift rules this pops states in
+// exactly the reference implementation's order, ties included.
+//
+// When useBans is set, links and nodes whose ban marks carry the current
+// ban epoch are excluded (Yen spur searches); ingress is the technology of
+// the link entering the search source (noTech at the true path source).
+func (ws *workspace) dijkstra(capv []float64, src, dst graph.NodeID, cfg Config, ingress graph.Tech, useBans bool) (graph.Path, float64) {
+	net := ws.net
+	ws.searchEpoch++
+	ep := ws.searchEpoch
+	maxHops := int32(cfg.maxHops())
+	stride := ws.stride
 
-	pq := &priorityQueue{}
-	start := vstate{node: src, in: cons.ingress}
-	dist[start] = 0
-	hops[start] = 0
-	heap.Push(pq, &pqItem{state: start, dist: 0})
+	start := int32(int(src)*stride + int(ingress) + 1)
+	ws.dist[start] = 0
+	ws.distMark[start] = ep
+	ws.hops[start] = 0
+	ws.prevState[start] = -1
+	h := ws.heap[:0]
+	h = heapPushState(h, heapState{dist: 0, state: start})
 
-	visited := make(map[vstate]bool)
-	maxHops := cfg.maxHops()
-
-	var best vstate
+	best := int32(-1)
 	bestDist := math.Inf(1)
 
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(*pqItem)
-		s := it.state
-		if visited[s] {
+	for len(h) > 0 {
+		var e heapState
+		h, e = heapPopState(h)
+		s := e.state
+		if ws.visMark[s] == ep {
 			continue
 		}
-		visited[s] = true
-		if it.dist >= bestDist {
+		ws.visMark[s] = ep
+		if e.dist >= bestDist {
 			break // every remaining state is at least as far
 		}
-		if s.node == dst {
-			best, bestDist = s, it.dist
+		node := graph.NodeID(int(s) / stride)
+		if node == dst {
+			best, bestDist = s, e.dist
 			break
 		}
-		if hops[s] >= maxHops {
+		if ws.hops[s] >= maxHops {
 			continue
 		}
-		for _, id := range net.Out(s.node) {
-			if cons.bannedLinks[id] {
+		in := graph.Tech(int(s)%stride - 1)
+		for _, id := range net.Out(node) {
+			if useBans && ws.banLinkMark[id] == ws.banEpoch {
+				continue
+			}
+			c := capv[id]
+			if c <= 0 {
 				continue
 			}
 			l := net.Link(id)
-			if l.Capacity <= 0 {
+			if useBans && ws.banNodeMark[l.To] == ws.banEpoch {
 				continue
 			}
-			if cons.bannedNodes[l.To] {
-				continue
+			w := 1 / c
+			if cfg.UseCSC && in != noTech && in == l.Tech {
+				w += ws.wns[node]
 			}
-			w := l.D()
-			if cfg.UseCSC && s.in != noTech && s.in == l.Tech {
-				w += wns(net, s.node)
-			}
-			next := vstate{node: l.To, in: l.Tech}
-			nd := it.dist + w
-			if old, ok := dist[next]; !ok || nd < old {
-				dist[next] = nd
-				prevLink[next] = id
-				prevState[next] = s
-				hops[next] = hops[s] + 1
-				heap.Push(pq, &pqItem{state: next, dist: nd})
+			next := int32(int(l.To)*stride + int(l.Tech) + 1)
+			nd := e.dist + w
+			if ws.distMark[next] != ep || nd < ws.dist[next] {
+				ws.dist[next] = nd
+				ws.distMark[next] = ep
+				ws.prevLink[next] = int32(id)
+				ws.prevState[next] = s
+				ws.hops[next] = ws.hops[s] + 1
+				h = heapPushState(h, heapState{dist: nd, state: next})
 			}
 		}
 	}
+	ws.heap = h[:0]
 
-	if math.IsInf(bestDist, 1) {
+	if best < 0 {
 		return nil, math.Inf(1)
 	}
-	// Reconstruct.
-	var rev []graph.LinkID
-	for s := best; s != start; s = prevState[s] {
-		rev = append(rev, prevLink[s])
+	// Reconstruct backwards into the reusable buffer, then reverse.
+	p := ws.pathBuf[:0]
+	for s := best; s != start; s = ws.prevState[s] {
+		p = append(p, graph.LinkID(ws.prevLink[s]))
 	}
-	p := make(graph.Path, 0, len(rev))
-	for i := len(rev) - 1; i >= 0; i-- {
-		p = append(p, rev[i])
+	for i, j := 0, len(p)-1; i < j; i, j = i+1, j-1 {
+		p[i], p[j] = p[j], p[i]
 	}
-	p = removeNodeLoops(net, p)
-	return p, PathWeight(net, p, cfg)
+	ws.pathBuf = p
+	p = ws.removeNodeLoops(p)
+	ws.pathBuf = p
+	return p, pathWeightView(ws, capv, p, cfg)
 }
 
 // removeNodeLoops shortcuts any node revisits in a walk. With the EMPoWER
 // weights this never increases the path weight: removing a loop at node u
 // drops at least one egress link of u (weight ≥ w_ns(u)) while adding at
-// most w_ns(u) of channel-switching cost.
+// most w_ns(u) of channel-switching cost. The walk is modified in place.
 func removeNodeLoops(net *graph.Network, p graph.Path) graph.Path {
-	for {
-		seen := make(map[graph.NodeID]int) // node -> index in p of the link leaving it
-		loop := false
-		if len(p) == 0 {
-			return p
-		}
-		seen[net.Link(p[0]).From] = 0
-		for i, id := range p {
-			to := net.Link(id).To
-			if j, ok := seen[to]; ok {
-				// Links j..i form a loop returning to node `to`; cut them.
-				np := make(graph.Path, 0, len(p)-(i-j+1))
-				np = append(np, p[:j]...)
-				np = append(np, p[i+1:]...)
-				p = np
-				loop = true
-				break
-			}
-			seen[to] = i + 1
-		}
-		if !loop {
-			return p
-		}
-	}
+	ws := getWS(net)
+	p = ws.removeNodeLoops(p)
+	putWS(ws)
+	return p
 }
 
 // SinglePath runs the single-path procedure of §3.1: the shortest path on
 // the virtual interface graph from src to dst under the EMPoWER link metric
 // and CSC. It returns nil if dst is unreachable.
 func SinglePath(net *graph.Network, src, dst graph.NodeID, cfg Config) graph.Path {
-	p, w := dijkstra(net, src, dst, cfg, searchConstraints{ingress: noTech})
+	ws := getWS(net)
+	ws.prepareSearch()
+	ws.computeWns(ws.capRoot)
+	p, w := ws.dijkstra(ws.capRoot, src, dst, cfg, noTech, false)
 	if math.IsInf(w, 1) {
+		putWS(ws)
 		return nil
 	}
-	return p
+	out := make(graph.Path, len(p))
+	copy(out, p)
+	putWS(ws)
+	return out
 }

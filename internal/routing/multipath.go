@@ -11,23 +11,34 @@ import (
 // the largest rate simultaneously supported by every link of the path under
 // intra-path interference (Lemma 1 applied per interference domain).
 func RatePath(net *graph.Network, p graph.Path) float64 {
+	ws := getWS(net)
+	ws.fillCap()
+	r := ws.ratePath(ws.capRoot, p)
+	putWS(ws)
+	return r
+}
+
+// ratePath computes R(P) under a capacity overlay. Path membership is an
+// epoch-stamped scratch set, so the call allocates nothing.
+func (ws *workspace) ratePath(capv []float64, p graph.Path) float64 {
 	if len(p) == 0 {
 		return 0
 	}
-	inPath := make(map[graph.LinkID]bool, len(p))
+	ws.pathEpoch++
+	ep := ws.pathEpoch
 	for _, id := range p {
-		inPath[id] = true
+		ws.inPathMark[id] = ep
 	}
 	worst := 0.0
 	for _, id := range p {
 		var sum float64
-		for _, i := range net.Interference(id) {
-			if inPath[i] {
-				l := net.Link(i)
-				if l.Capacity <= 0 {
+		for _, i := range ws.net.Interference(id) {
+			if ws.inPathMark[i] == ep {
+				c := capv[i]
+				if c <= 0 {
 					return 0
 				}
-				sum += l.D()
+				sum += 1 / c
 			}
 		}
 		if sum > worst {
@@ -43,20 +54,24 @@ func RatePath(net *graph.Network, p graph.Path) float64 {
 // RateOnLink returns R(l,P) = (Σ_{l'∈ I_l ∩ P} d_{l'})^{-1}: the maximum
 // path rate supported by link l (which must be on P).
 func RateOnLink(net *graph.Network, l graph.LinkID, p graph.Path) float64 {
-	inPath := make(map[graph.LinkID]bool, len(p))
+	ws := getWS(net)
+	ws.pathEpoch++
+	ep := ws.pathEpoch
 	for _, id := range p {
-		inPath[id] = true
+		ws.inPathMark[id] = ep
 	}
 	var sum float64
 	for _, i := range net.Interference(l) {
-		if inPath[i] {
-			link := net.Link(i)
-			if link.Capacity <= 0 {
+		if ws.inPathMark[i] == ep {
+			c := net.Link(i).Capacity
+			if c <= 0 {
+				putWS(ws)
 				return 0
 			}
-			sum += link.D()
+			sum += 1 / c
 		}
 	}
+	putWS(ws)
 	if sum == 0 {
 		return math.Inf(1)
 	}
@@ -74,38 +89,87 @@ func RateOnLink(net *graph.Network, l graph.LinkID, p graph.Path) float64 {
 // guarantees the exploration tree terminates.
 func Update(net *graph.Network, p graph.Path) *graph.Network {
 	out := net.Clone()
-	r := RatePath(net, p)
-	if r <= 0 {
-		return out
-	}
-	inPath := make(map[graph.LinkID]bool, len(p))
-	for _, id := range p {
-		inPath[id] = true
-	}
-	// Collect the union of interference domains of the path's links.
-	affected := make(map[graph.LinkID]bool)
-	for _, id := range p {
-		for _, i := range net.Interference(id) {
-			affected[i] = true
+	ws := getWS(net)
+	ws.fillCap()
+	if r := ws.ratePath(ws.capRoot, p); r > 0 {
+		ws.update(ws.capRoot, p, r)
+		for i := range out.Links {
+			out.Links[i].Capacity = ws.capRoot[i]
 		}
 	}
-	for id := range affected {
-		// r(l,P) = 1 - Σ_{l'∈ I_l ∩ P} R(P)·d_{l'} with capacities from net.
+	putWS(ws)
+	return out
+}
+
+// update applies update(P,G) to a capacity overlay in place, given
+// r = R(P) > 0 computed on the same overlay. The pre-update d_l of the
+// path's links are latched at mark time (ws.dPath), so the in-place
+// mutation observes exactly the capacities the reference implementation's
+// cloned-network version observes.
+func (ws *workspace) update(capv []float64, p graph.Path, r float64) {
+	ws.pathEpoch++
+	ep := ws.pathEpoch
+	for _, id := range p {
+		ws.inPathMark[id] = ep
+		if c := capv[id]; c > 0 {
+			ws.dPath[id] = 1 / c
+		} else {
+			ws.dPath[id] = math.Inf(1)
+		}
+	}
+	// Collect the union of interference domains of the path's links.
+	ws.affEpoch++
+	aep := ws.affEpoch
+	aff := ws.affList[:0]
+	for _, id := range p {
+		for _, i := range ws.net.Interference(id) {
+			if ws.affMark[i] != aep {
+				ws.affMark[i] = aep
+				aff = append(aff, i)
+			}
+		}
+	}
+	for _, id := range aff {
+		// r(l,P) = 1 - Σ_{l'∈ I_l ∩ P} R(P)·d_{l'} with pre-update d.
 		var consumed float64
-		for _, i := range net.Interference(id) {
-			if inPath[i] {
-				consumed += r * net.Link(i).D()
+		for _, i := range ws.net.Interference(id) {
+			if ws.inPathMark[i] == ep {
+				consumed += r * ws.dPath[i]
 			}
 		}
 		frac := 1 - consumed
 		if frac < 0 {
 			frac = 0
 		}
-		out.Link(id).Capacity = net.Link(id).Capacity * frac
-		if out.Link(id).Capacity < capacityEpsilon {
-			out.Link(id).Capacity = 0
+		nc := capv[id] * frac
+		if nc < capacityEpsilon {
+			nc = 0
+		}
+		capv[id] = nc
+	}
+	ws.affList = aff[:0]
+}
+
+// SequentialRates returns R(P_i) for each path when the paths are loaded in
+// order, each at its full residual rate — the §3.2 exploration-tree
+// accounting that sources use to seed the congestion controller. It is
+// equivalent to chaining RatePath and Update per path but runs on one
+// reusable capacity overlay instead of cloning the network per step.
+func SequentialRates(net *graph.Network, paths []graph.Path) []float64 {
+	if len(paths) == 0 {
+		return nil
+	}
+	ws := getWS(net)
+	ws.fillCap()
+	out := make([]float64, len(paths))
+	for i, p := range paths {
+		r := ws.ratePath(ws.capRoot, p)
+		out[i] = r
+		if r > 0 {
+			ws.update(ws.capRoot, p, r)
 		}
 	}
+	putWS(ws)
 	return out
 }
 
@@ -129,34 +193,44 @@ type Combination struct {
 // Update, and returns the path set on the root-to-leaf branch maximizing
 // total capacity. The zero Combination is returned when dst is unreachable.
 func Multipath(net *graph.Network, src, dst graph.NodeID, cfg Config) Combination {
+	ws := getWS(net)
+	ws.prepareSearch()
 	var best Combination
-	explore(net, src, dst, cfg, 0, Combination{}, &best)
+	ws.explore(ws.capRoot, src, dst, cfg, 0, Combination{}, &best)
+	putWS(ws)
 	return best
 }
 
-func explore(g *graph.Network, src, dst graph.NodeID, cfg Config, depth int, cur Combination, best *Combination) {
+// explore recurses over the exploration tree. Each child vertex is a
+// capacity overlay drawn from the workspace free list — copy the parent's
+// capacities, apply update(P,G) in place — rather than a Network clone;
+// the overlay returns to the free list once the subtree is done.
+func (ws *workspace) explore(capv []float64, src, dst graph.NodeID, cfg Config, depth int, cur Combination, best *Combination) {
 	if cfg.MaxDepth > 0 && depth >= cfg.MaxDepth {
 		if cur.Total > best.Total {
 			*best = cur
 		}
 		return
 	}
-	paths := NShortest(g, src, dst, cfg)
+	paths := ws.nShortest(capv, src, dst, cfg)
 	// Keep only paths with strictly positive achievable rate.
 	leaf := true
 	for _, p := range paths {
-		r := RatePath(g, p)
+		r := ws.ratePath(capv, p)
 		if r <= capacityEpsilon {
 			continue
 		}
 		leaf = false
-		child := Update(g, p)
+		child := ws.getOverlay()
+		copy(child, capv)
+		ws.update(child, p, r)
 		next := Combination{
 			Paths: append(append([]graph.Path(nil), cur.Paths...), p),
 			Rates: append(append([]float64(nil), cur.Rates...), r),
 			Total: cur.Total + r,
 		}
-		explore(child, src, dst, cfg, depth+1, next, best)
+		ws.explore(child, src, dst, cfg, depth+1, next, best)
+		ws.putOverlay(child)
 	}
 	if leaf && cur.Total > best.Total {
 		*best = cur

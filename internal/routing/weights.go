@@ -89,6 +89,27 @@ func PathWeight(net *graph.Network, p graph.Path, cfg Config) float64 {
 	return w
 }
 
+// pathWeightView is PathWeight under a capacity overlay, with the per-node
+// w_ns precomputed into the workspace (ws.computeWns must have run for the
+// same overlay). Values and operation order match PathWeight exactly.
+func pathWeightView(ws *workspace, capv []float64, p graph.Path, cfg Config) float64 {
+	var w float64
+	for i, id := range p {
+		c := capv[id]
+		if c <= 0 {
+			return math.Inf(1)
+		}
+		w += 1 / c
+		if cfg.UseCSC && i > 0 {
+			l := ws.net.Link(id)
+			if ws.net.Link(p[i-1]).Tech == l.Tech {
+				w += ws.wns[l.From]
+			}
+		}
+	}
+	return w
+}
+
 // PathKey returns a canonical comparable key for a path, used to
 // de-duplicate paths across Yen iterations.
 func PathKey(p graph.Path) string {

@@ -1,0 +1,422 @@
+package routing
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// workspace holds every piece of scratch state the routing procedures need,
+// sized to one network and reused across calls through a sync.Pool. All
+// set-shaped scratch (visited, banned, in-path membership, …) is
+// epoch-stamped: a slot belongs to the current operation iff its mark equals
+// the operation's epoch, so reuse needs no clearing — acquiring a fresh set
+// is a single counter increment. Slices are grown, never shrunk; stale marks
+// from a larger previous network can never equal a fresh epoch because
+// epochs only move forward.
+//
+// A workspace is not safe for concurrent use; the pool hands each goroutine
+// its own. Exported entry points acquire and release one per call, internal
+// routines thread the caller's through.
+type workspace struct {
+	net *graph.Network
+
+	// Virtual-interface search state (dijkstra). States are dense integers
+	// idx = node*stride + tech + 1, where tech = -1 (noTech) for the search
+	// source; stride = maxTech + 2.
+	stride      int
+	searchEpoch uint64
+	distMark    []uint64
+	visMark     []uint64
+	dist        []float64
+	prevLink    []int32
+	prevState   []int32
+	hops        []int32
+	heap        []heapState
+
+	// Banned link/node sets for Yen spur searches (by LinkID / NodeID).
+	banEpoch    uint64
+	banLinkMark []uint64
+	banNodeMark []uint64
+
+	// Link-membership set for R(P) / R(l,P) / update(P,G) (by LinkID).
+	// dPath[l] caches d_l of the marked links at mark time, i.e. before
+	// update mutates the capacities in place.
+	pathEpoch  uint64
+	inPathMark []uint64
+	dPath      []float64
+
+	// Affected-link set for update(P,G): the union of the interference
+	// domains of the path's links, collected once per update.
+	affEpoch uint64
+	affMark  []uint64
+	affList  []graph.LinkID
+
+	// Node marks for loop removal and path validation (by NodeID).
+	nodeEpoch uint64
+	nodeMark  []uint64
+	nodeIdx   []int32
+
+	// Reusable path and node-sequence buffers.
+	pathBuf  []graph.LinkID // dijkstra reconstruction target
+	totalBuf []graph.LinkID // Yen root+spur assembly
+	nodesBuf []graph.NodeID // node sequence of the deviation path
+
+	// Yen candidate heap and de-duplication keys.
+	cands    []candEntry
+	seenKeys map[pathKey]struct{}
+
+	// Per-view capacity overlay and precomputed per-node w_ns. capRoot is
+	// the root vertex's capacities (copied from the network once per call);
+	// the exploration tree's children draw further overlays from the free
+	// list instead of cloning the network.
+	capRoot  []float64
+	wns      []float64
+	overlays [][]float64
+
+	// Path-key packing: paths of up to maxPackLen links pack injectively
+	// into a uint64 (positional code with digits id+1 in base numLinks+1);
+	// longer paths fall back to a string key.
+	packBase   uint64
+	maxPackLen int
+}
+
+// heapState is a dijkstra frontier entry. The heap is a manual binary heap
+// with exactly container/heap's sift rules and a less of strict dist
+// comparison, so pop order — including the order among equal distances —
+// is identical to the reference map-based implementation.
+type heapState struct {
+	dist  float64
+	state int32
+}
+
+// candEntry is a Yen candidate. seq is the generation number; ordering by
+// (weight, seq) reproduces the reference implementation's repeated
+// stable-sort selection: among equal-weight minima, the earliest-generated
+// candidate wins.
+type candEntry struct {
+	weight float64
+	seq    int
+	path   graph.Path
+}
+
+// pathKey is a comparable de-duplication key for a path: the packed uint64
+// code when the path fits, a string fallback otherwise. The two variants
+// cannot collide (fallback keys carry a non-empty string).
+type pathKey struct {
+	packed uint64
+	long   string
+}
+
+var wsPool = sync.Pool{New: func() any { return &workspace{} }}
+
+// getWS acquires a workspace sized for net's links and nodes. Search state
+// (dijkstra arrays, key packing, capacity overlay) is sized separately by
+// prepareSearch, so rate-only operations skip it.
+func getWS(net *graph.Network) *workspace {
+	ws := wsPool.Get().(*workspace)
+	ws.net = net
+	nl, nn := net.NumLinks(), net.NumNodes()
+	ws.banLinkMark = growU64(ws.banLinkMark, nl)
+	ws.inPathMark = growU64(ws.inPathMark, nl)
+	ws.dPath = growF64(ws.dPath, nl)
+	ws.affMark = growU64(ws.affMark, nl)
+	ws.banNodeMark = growU64(ws.banNodeMark, nn)
+	ws.nodeMark = growU64(ws.nodeMark, nn)
+	ws.nodeIdx = growI32(ws.nodeIdx, nn)
+	return ws
+}
+
+func putWS(ws *workspace) {
+	ws.net = nil
+	wsPool.Put(ws)
+}
+
+// prepareSearch sizes the dijkstra state for the virtual interface graph,
+// fills the root capacity overlay, and derives the key-packing parameters.
+func (ws *workspace) prepareSearch() {
+	net := ws.net
+	maxTech := -1
+	for i := range net.Links {
+		if t := int(net.Links[i].Tech); t > maxTech {
+			maxTech = t
+		}
+	}
+	ws.stride = maxTech + 2
+	n := net.NumNodes() * ws.stride
+	ws.distMark = growU64(ws.distMark, n)
+	ws.visMark = growU64(ws.visMark, n)
+	ws.dist = growF64(ws.dist, n)
+	ws.prevLink = growI32(ws.prevLink, n)
+	ws.prevState = growI32(ws.prevState, n)
+	ws.hops = growI32(ws.hops, n)
+	ws.wns = growF64(ws.wns, net.NumNodes())
+	ws.fillCap()
+
+	ws.packBase = uint64(net.NumLinks()) + 1
+	ws.maxPackLen = 0
+	if ws.packBase >= 2 {
+		prod := uint64(1)
+		for ws.maxPackLen < 64 && prod <= math.MaxUint64/ws.packBase {
+			prod *= ws.packBase
+			ws.maxPackLen++
+		}
+	}
+}
+
+// fillCap copies the network's current capacities into the root overlay.
+func (ws *workspace) fillCap() {
+	ws.capRoot = growF64(ws.capRoot, ws.net.NumLinks())
+	for i := range ws.net.Links {
+		ws.capRoot[i] = ws.net.Links[i].Capacity
+	}
+}
+
+// computeWns fills ws.wns with w_ns(u) for every node under the given
+// capacity overlay: the minimum d_l over u's live egress links, 0 when u
+// has none (same values, same comparison order as the wns function).
+func (ws *workspace) computeWns(capv []float64) {
+	net := ws.net
+	for u := range net.Nodes {
+		best := math.Inf(1)
+		for _, id := range net.Out(graph.NodeID(u)) {
+			if c := capv[id]; c > 0 {
+				if d := 1 / c; d < best {
+					best = d
+				}
+			}
+		}
+		if math.IsInf(best, 1) {
+			best = 0
+		}
+		ws.wns[u] = best
+	}
+}
+
+// key returns the de-duplication key of a path.
+func (ws *workspace) key(p []graph.LinkID) pathKey {
+	if len(p) <= ws.maxPackLen {
+		var k uint64
+		for i := len(p) - 1; i >= 0; i-- {
+			k = k*ws.packBase + uint64(p[i]) + 1
+		}
+		return pathKey{packed: k}
+	}
+	b := make([]byte, 0, len(p)*4)
+	for _, id := range p {
+		b = append(b, byte(id>>24), byte(id>>16), byte(id>>8), byte(id))
+	}
+	return pathKey{packed: ^uint64(0), long: string(b)}
+}
+
+// getOverlay returns a capacity overlay of the network's link count from
+// the free list (or a fresh one); putOverlay returns it after the child
+// vertex's subtree is explored.
+func (ws *workspace) getOverlay() []float64 {
+	n := ws.net.NumLinks()
+	if k := len(ws.overlays); k > 0 {
+		o := ws.overlays[k-1]
+		ws.overlays = ws.overlays[:k-1]
+		if cap(o) >= n {
+			return o[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+func (ws *workspace) putOverlay(o []float64) {
+	ws.overlays = append(ws.overlays, o)
+}
+
+// pathNodes writes the node sequence of p into the reusable buffer. ok is
+// false when the links do not chain (mirrors Network.PathNodes failing).
+func (ws *workspace) pathNodes(p graph.Path) (nodes []graph.NodeID, ok bool) {
+	if len(p) == 0 {
+		return nil, false
+	}
+	nodes = ws.nodesBuf[:0]
+	cur := ws.net.Link(p[0]).From
+	nodes = append(nodes, cur)
+	for _, id := range p {
+		l := ws.net.Link(id)
+		if l.From != cur {
+			ws.nodesBuf = nodes
+			return nil, false
+		}
+		cur = l.To
+		nodes = append(nodes, cur)
+	}
+	ws.nodesBuf = nodes
+	return nodes, true
+}
+
+// validPath reports whether p is a connected loop-free path from src to
+// dst — the allocation-free equivalent of Network.ValidatePath == nil.
+func (ws *workspace) validPath(p graph.Path, src, dst graph.NodeID) bool {
+	if len(p) == 0 {
+		return false
+	}
+	net := ws.net
+	if net.Link(p[0]).From != src {
+		return false
+	}
+	ws.nodeEpoch++
+	ep := ws.nodeEpoch
+	cur := src
+	ws.nodeMark[cur] = ep
+	for _, id := range p {
+		l := net.Link(id)
+		if l.From != cur {
+			return false
+		}
+		cur = l.To
+		if ws.nodeMark[cur] == ep {
+			return false
+		}
+		ws.nodeMark[cur] = ep
+	}
+	return cur == dst
+}
+
+// removeNodeLoops shortcuts node revisits in a walk, in place, with the
+// same cut-first-revisit-and-restart policy as the reference
+// implementation (see the removeNodeLoops wrapper for why cuts never
+// increase the path weight).
+func (ws *workspace) removeNodeLoops(p []graph.LinkID) []graph.LinkID {
+	net := ws.net
+	for {
+		if len(p) == 0 {
+			return p
+		}
+		ws.nodeEpoch++
+		ep := ws.nodeEpoch
+		from := net.Link(p[0]).From
+		ws.nodeMark[from] = ep
+		ws.nodeIdx[from] = 0
+		loop := false
+		for i, id := range p {
+			to := net.Link(id).To
+			if ws.nodeMark[to] == ep {
+				// Links j..i form a loop returning to node `to`; cut them.
+				j := int(ws.nodeIdx[to])
+				p = p[:j+copy(p[j:], p[i+1:])]
+				loop = true
+				break
+			}
+			ws.nodeMark[to] = ep
+			ws.nodeIdx[to] = int32(i + 1)
+		}
+		if !loop {
+			return p
+		}
+	}
+}
+
+func growU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// --- manual binary heaps -------------------------------------------------
+
+// heapPushState appends e and sifts up, exactly as container/heap.Push.
+func heapPushState(h []heapState, e heapState) []heapState {
+	h = append(h, e)
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(h[j].dist < h[i].dist) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+	return h
+}
+
+// heapPopState removes and returns the minimum, exactly as
+// container/heap.Pop (swap root with last, sift down, truncate).
+func heapPopState(h []heapState) ([]heapState, heapState) {
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].dist < h[j1].dist {
+			j = j2
+		}
+		if !(h[j].dist < h[i].dist) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	e := h[n]
+	return h[:n], e
+}
+
+func candLess(a, b candEntry) bool {
+	if a.weight != b.weight {
+		return a.weight < b.weight
+	}
+	return a.seq < b.seq
+}
+
+func heapPushCand(h []candEntry, e candEntry) []candEntry {
+	h = append(h, e)
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !candLess(h[j], h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+	return h
+}
+
+func heapPopCand(h []candEntry) ([]candEntry, candEntry) {
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && candLess(h[j2], h[j1]) {
+			j = j2
+		}
+		if !candLess(h[j], h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	e := h[n]
+	h[n] = candEntry{} // release the path for GC
+	return h[:n], e
+}

@@ -2,7 +2,6 @@ package routing
 
 import (
 	"math"
-	"sort"
 
 	"repro/internal/graph"
 )
@@ -12,85 +11,109 @@ import (
 // computed with Yen's algorithm over the virtual interface graph. Paths
 // through zero-capacity links are never returned.
 func NShortest(net *graph.Network, src, dst graph.NodeID, cfg Config) []graph.Path {
+	ws := getWS(net)
+	ws.prepareSearch()
+	out := ws.nShortest(ws.capRoot, src, dst, cfg)
+	putWS(ws)
+	return out
+}
+
+// nShortest is the workspace-backed implementation. The spur-search banned
+// sets are epoch-stamped slices, candidates live in a min-heap ordered by
+// (weight, generation) — which selects exactly the candidate the reference
+// implementation's repeated stable sort selects — and path de-duplication
+// uses packed comparable keys instead of strings. Accepted and candidate
+// paths are durable copies; everything else is workspace scratch.
+func (ws *workspace) nShortest(capv []float64, src, dst graph.NodeID, cfg Config) []graph.Path {
 	if cfg.N <= 0 {
 		return nil
 	}
-	first := SinglePath(net, src, dst, cfg)
-	if first == nil {
+	ws.computeWns(capv)
+	p0, w0 := ws.dijkstra(capv, src, dst, cfg, noTech, false)
+	if math.IsInf(w0, 1) {
 		return nil
 	}
-	accepted := []graph.Path{first}
-	acceptedKeys := map[string]bool{PathKey(first): true}
+	first := make(graph.Path, len(p0))
+	copy(first, p0)
+	accepted := make([]graph.Path, 0, cfg.N)
+	accepted = append(accepted, first)
 
-	type candidate struct {
-		path   graph.Path
-		weight float64
+	if ws.seenKeys == nil {
+		ws.seenKeys = make(map[pathKey]struct{}, 32)
+	} else {
+		clear(ws.seenKeys)
 	}
-	var candidates []candidate
-	candidateKeys := map[string]bool{}
+	ws.seenKeys[ws.key(first)] = struct{}{}
+	cands := ws.cands[:0]
+	seq := 0
+	maxHops := cfg.maxHops()
 
 	for len(accepted) < cfg.N {
 		prev := accepted[len(accepted)-1]
-		prevNodes, err := net.PathNodes(prev)
-		if err != nil {
+		prevNodes, ok := ws.pathNodes(prev)
+		if !ok {
 			break
 		}
 		for i := 0; i < len(prev); i++ {
 			spurNode := prevNodes[i]
-			root := prev[:i]
 
-			cons := searchConstraints{
-				bannedLinks: make(map[graph.LinkID]bool),
-				bannedNodes: make(map[graph.NodeID]bool),
-				ingress:     noTech,
-			}
-			if i > 0 {
-				cons.ingress = net.Link(prev[i-1]).Tech
-			}
 			// Ban the next link of every accepted path sharing this root,
-			// forcing a deviation at the spur node.
+			// forcing a deviation at the spur node, and ban the root nodes
+			// (except the spur node) to keep paths loopless.
+			ws.banEpoch++
 			for _, q := range accepted {
 				if len(q) > i && samePrefix(q, prev, i) {
-					cons.bannedLinks[q[i]] = true
+					ws.banLinkMark[q[i]] = ws.banEpoch
 				}
 			}
-			// Ban root nodes (except the spur node) to keep paths loopless.
 			for _, v := range prevNodes[:i] {
-				cons.bannedNodes[v] = true
+				ws.banNodeMark[v] = ws.banEpoch
+			}
+			ingress := noTech
+			if i > 0 {
+				ingress = ws.net.Link(prev[i-1]).Tech
 			}
 
 			spurCfg := cfg
-			spurCfg.MaxHops = cfg.maxHops() - i
+			spurCfg.MaxHops = maxHops - i
 			if spurCfg.MaxHops <= 0 {
 				continue
 			}
-			spur, w := dijkstra(net, spurNode, dst, spurCfg, cons)
+			spur, w := ws.dijkstra(capv, spurNode, dst, spurCfg, ingress, true)
 			if math.IsInf(w, 1) || len(spur) == 0 {
 				continue
 			}
-			total := make(graph.Path, 0, len(root)+len(spur))
-			total = append(total, root...)
+			total := append(ws.totalBuf[:0], prev[:i]...)
 			total = append(total, spur...)
-			key := PathKey(total)
-			if acceptedKeys[key] || candidateKeys[key] {
+			ws.totalBuf = total
+			k := ws.key(total)
+			if _, dup := ws.seenKeys[k]; dup {
 				continue
 			}
-			if err := validLoopless(net, total, src, dst); err != nil {
+			if !ws.validPath(total, src, dst) {
 				continue
 			}
-			candidateKeys[key] = true
-			candidates = append(candidates, candidate{total, PathWeight(net, total, cfg)})
+			ws.seenKeys[k] = struct{}{}
+			durable := make(graph.Path, len(total))
+			copy(durable, total)
+			cands = heapPushCand(cands, candEntry{
+				weight: pathWeightView(ws, capv, durable, cfg),
+				seq:    seq,
+				path:   durable,
+			})
+			seq++
 		}
-		if len(candidates) == 0 {
+		if len(cands) == 0 {
 			break
 		}
-		sort.SliceStable(candidates, func(a, b int) bool { return candidates[a].weight < candidates[b].weight })
-		next := candidates[0]
-		candidates = candidates[1:]
-		delete(candidateKeys, PathKey(next.path))
+		var next candEntry
+		cands, next = heapPopCand(cands)
 		accepted = append(accepted, next.path)
-		acceptedKeys[PathKey(next.path)] = true
 	}
+	for i := range cands {
+		cands[i] = candEntry{} // release unpopped candidate paths for GC
+	}
+	ws.cands = cands[:0]
 	return accepted
 }
 
@@ -104,8 +127,4 @@ func samePrefix(a, b graph.Path, n int) bool {
 		}
 	}
 	return true
-}
-
-func validLoopless(net *graph.Network, p graph.Path, src, dst graph.NodeID) error {
-	return net.ValidatePath(p, src, dst)
 }

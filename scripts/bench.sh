@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Runs the routing and controller micro-benchmarks plus the Figure-4 sweep
+# bench and records ns/op, B/op and allocs/op in BENCH_ROUTING.json, so the
+# hot-path perf trajectory is tracked from PR 2 onward.
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME=200ms scripts/bench.sh   # quicker, noisier run
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_ROUTING.json}"
+benchtime="${BENCHTIME:-1s}"
+pattern='BenchmarkRoutingN5$|BenchmarkAblationNShortest|BenchmarkAblationCSC|BenchmarkControllerSlot$|BenchmarkFigure4ParallelSweep'
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -count 1 . | tee "$tmp" >&2
+
+{
+  printf '{\n'
+  printf '  "generated": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  printf '  "go": "%s",\n' "$(go env GOVERSION)"
+  printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+  printf '  "benchtime": "%s",\n' "$benchtime"
+  printf '  "benchmarks": [\n'
+  awk '
+    /^Benchmark/ {
+      name = $1; sub(/-[0-9]+$/, "", name)
+      nsop = "null"; bop = "null"; allocs = "null"
+      for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") nsop = $i
+        if ($(i+1) == "B/op") bop = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+      }
+      if (sep != "") printf "%s\n", sep
+      printf "    {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", name, $2, nsop, bop, allocs
+      sep = ","
+    }
+    END { printf "\n" }
+  ' "$tmp"
+  printf '  ]\n}\n'
+} > "$out"
+echo "wrote $out" >&2
