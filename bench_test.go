@@ -17,6 +17,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/node"
 	"repro/internal/routing"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/wire"
@@ -281,6 +282,28 @@ func BenchmarkEmulationSecond(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		em.Run(5 + float64(i+1))
+	}
+}
+
+// BenchmarkChurnSweep measures one reduced churn-failover sweep on the
+// shipped flap scenario: per iteration, 2 replications × 2 schemes of
+// the full scenario pipeline (topology build, bind, expansion, 150
+// emulated seconds of flapping, failover measurement) on the parallel
+// runner. scripts/bench.sh records it in BENCH_SCENARIO.json.
+func BenchmarkChurnSweep(b *testing.B) {
+	sc, err := scenario.Load("examples/scenarios/flaps.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := experiments.ChurnConfig{
+		Seed: 42, Runs: 2, ManageRoutes: true,
+		Schemes: []core.Scheme{core.SchemeEMPoWER, core.SchemeSPWoCC},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ChurnFailover(sc, cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

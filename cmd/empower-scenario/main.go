@@ -1,0 +1,132 @@
+// Command empower-scenario runs a dynamic-network scenario — link
+// failures and recoveries, flapping links, capacity drift, node churn,
+// stochastic flow arrivals — against the packet-level EMPoWER emulation
+// and reports failover latency and goodput per scheme (§6.1's dynamics,
+// systematized).
+//
+// A scenario is a JSON file (see examples/scenarios/ and the schema
+// section in DESIGN.md) that is self-contained: it carries its topology
+// (a generated instance kind or an explicit custom network), its flows,
+// an explicit event timeline, and stochastic processes expanded
+// deterministically from the seed. The replications run on the
+// deterministic parallel runner: -parallel bounds the worker pool and
+// never changes the numbers — the same -seed yields byte-identical
+// output at any worker count.
+//
+// Flags:
+//
+//	-scenario file   scenario JSON file (required)
+//	-runs N          scenario replications per scheme (default 20)
+//	-seed N          base RNG seed
+//	-parallel N      worker pool size (<= 0: GOMAXPROCS)
+//	-schemes list    comma-separated scheme names, or "all"
+//	                 (default "EMPoWER,SP,MP-w/o-CC,SP-w/o-CC")
+//	-json            emit one JSON object on stdout instead of text
+//	-delta D         congestion-control constraint margin δ
+//	-bin S           failover measurement bin in seconds (default 0.2)
+//	-frac F          goodput-recovery fraction defining failover (0.8)
+//	-manage          attach the §3.2 route manager with fast failover to
+//	                 multipath CC flows (default true)
+//	-flaprates list  run the goodput-vs-flap-rate sweep at these flap
+//	                 frequencies (cycles/minute, e.g. "0.5,1,2,4")
+//	                 instead of the failover experiment
+//
+// Usage:
+//
+//	empower-scenario -scenario examples/scenarios/flaps.json -runs 50 -seed 7 -parallel 8
+//	empower-scenario -scenario examples/scenarios/flaps.json -flaprates 0.5,1,2,4 -json
+//	empower-scenario -scenario examples/scenarios/churn.json -schemes all
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+)
+
+func main() {
+	scPath := flag.String("scenario", "", "scenario JSON file (required)")
+	runs := flag.Int("runs", 20, "scenario replications per scheme")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	parallel := flag.Int("parallel", 0, "replication workers (<= 0: GOMAXPROCS)")
+	schemesCSV := flag.String("schemes", "EMPoWER,SP,MP-w/o-CC,SP-w/o-CC",
+		`comma-separated scheme names, or "all"`)
+	jsonOut := flag.Bool("json", false, "emit results as a JSON object on stdout")
+	delta := flag.Float64("delta", 0.05, "constraint margin δ")
+	bin := flag.Float64("bin", 0.2, "failover measurement bin (seconds)")
+	frac := flag.Float64("frac", 0.8, "goodput-recovery fraction defining failover")
+	manage := flag.Bool("manage", true, "attach the route manager (fast failover) to multipath CC flows")
+	flapRates := flag.String("flaprates", "", "goodput-vs-flap-rate sweep frequencies (cycles/minute)")
+	flag.Parse()
+
+	if *scPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	sc, err := scenario.Load(*scPath)
+	fail(err)
+	schemes, err := experiments.ParseSchemes(*schemesCSV)
+	fail(err)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	cfg := experiments.ChurnConfig{
+		Seed: *seed, Runs: *runs, Schemes: schemes, Delta: *delta,
+		Bin: *bin, Frac: *frac, ManageRoutes: *manage, Parallel: *parallel,
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	emit := func(experiment string, result any, render func() string) {
+		if *jsonOut {
+			envelope := struct {
+				Experiment string `json:"experiment"`
+				Scenario   string `json:"scenario"`
+				Seed       int64  `json:"seed"`
+				Result     any    `json:"result"`
+			}{Experiment: experiment, Scenario: sc.Name, Seed: *seed, Result: result}
+			fail(enc.Encode(envelope))
+			return
+		}
+		fmt.Println(render())
+	}
+
+	if *flapRates != "" {
+		rates, err := parseFloats(*flapRates)
+		fail(err)
+		res, err := experiments.ChurnFlapSweepCtx(ctx, sc, cfg, rates)
+		fail(err)
+		emit("churn-flap-sweep", res, res.Render)
+		return
+	}
+	res, err := experiments.ChurnFailoverCtx(ctx, sc, cfg)
+	fail(err)
+	emit("churn-failover", res, res.Render)
+}
+
+func parseFloats(csv string) ([]float64, error) {
+	var out []float64
+	for _, s := range strings.Split(csv, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return nil, fmt.Errorf("empower-scenario: bad rate %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "empower-scenario:", err)
+		os.Exit(1)
+	}
+}

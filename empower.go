@@ -33,6 +33,7 @@ import (
 	"repro/internal/node"
 	"repro/internal/optimal"
 	"repro/internal/routing"
+	"repro/internal/scenario"
 	"repro/internal/topology"
 )
 
@@ -83,6 +84,16 @@ type (
 	TopologyView = topology.View
 	// TopologyConfig tunes generation.
 	TopologyConfig = topology.Config
+
+	// Scenario is a declarative dynamic-network workload: timed link
+	// failures/recoveries, capacity drift, node churn, and stochastic
+	// flow arrival processes, bound to a running emulation.
+	Scenario = scenario.Scenario
+	// ScenarioOptions tunes the binding of a scenario to an emulation.
+	ScenarioOptions = scenario.Options
+	// ScenarioRuntime is a bound scenario: it drives the timeline and
+	// measures failover latency and goodput.
+	ScenarioRuntime = scenario.Runtime
 )
 
 // Technologies.
@@ -147,6 +158,22 @@ func NewController(net *Network, routes []ControllerRoute, opts ControllerOption
 // stack on the given network.
 func NewEmulation(net *Network, cfg EmulationConfig, seed int64) *Emulation {
 	return node.NewEmulation(net, cfg, seed)
+}
+
+// LoadScenario reads a dynamic-network scenario from a JSON file (see
+// examples/scenarios/ and the schema section in DESIGN.md).
+func LoadScenario(path string) (*Scenario, error) { return scenario.Load(path) }
+
+// NewScenario starts building a scenario programmatically.
+func NewScenario(name string, duration float64) *Scenario {
+	return scenario.New(name, duration)
+}
+
+// BindScenario expands the scenario's stochastic processes with the seed
+// and schedules its timeline on the emulation; run the returned runtime
+// to drive the dynamics and measure failover.
+func BindScenario(em *Emulation, sc *Scenario, seed int64, opts ScenarioOptions) (*ScenarioRuntime, error) {
+	return scenario.Bind(em, sc, seed, opts)
 }
 
 // Residential generates the §5.1 residential topology instance.

@@ -47,7 +47,7 @@ func main() {
 
 	em.Engine.At(*failAt, func() {
 		fmt.Printf("t=%.0fs: PLC medium dies\n", *failAt)
-		net.Link(plcSD).Capacity = 0
+		em.SetLinkCapacity(plcSD, 0)
 	})
 
 	// Report once per 5 emulated seconds.

@@ -108,6 +108,17 @@ func AllSchemes() []Scheme {
 		SchemeMPmWiFi, SchemeMPWoCC, SchemeSPWoCC, SchemeMP2bp}
 }
 
+// ParseScheme maps a paper scheme name (as printed by Scheme.String) back
+// to its Scheme value.
+func ParseScheme(name string) (Scheme, error) {
+	for _, s := range AllSchemes() {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown scheme %q", name)
+}
+
 // routingConfig returns the routing configuration for a scheme: the CSC
 // is disabled on WiFi-only views (§5.1: "when using only WiFi, the CSC is
 // set to 0").

@@ -1,0 +1,370 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/node"
+	"repro/internal/runner"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+)
+
+// ChurnConfig tunes the dynamic-network (churn) experiment family: the
+// workload class the paper gestures at in §6.1 — failover under link
+// failures, flapping links, node churn and flow arrival processes — run
+// as Monte-Carlo sweeps over scenario replications on the deterministic
+// parallel runner.
+type ChurnConfig struct {
+	Seed int64
+	// Runs is the number of scenario replications per scheme (default
+	// 20). Generated topologies get a fresh channel realization per run;
+	// each run uses the same realization and the same expanded event
+	// timeline across all schemes, so scheme differences are paired.
+	Runs int
+	// Schemes selects the evaluated schemes (default: all eight).
+	Schemes []core.Scheme
+	// Delta is the congestion-control constraint margin δ.
+	Delta float64
+	// Bin is the failover-measurement bin width in seconds (default 0.2
+	// — the resolution of the paper's "hundreds of milliseconds" claim).
+	Bin float64
+	// Frac is the goodput-recovery fraction defining failover (default
+	// 0.8 of the episode's own steady level).
+	Frac float64
+	// ManageRoutes attaches the §3.2 route manager (with fast failover)
+	// to the flows of CC schemes, letting them recompute routes — under
+	// their own scheme's selection procedure — when a route dies or the
+	// network's capacity shifts. The w/o-CC baselines never get one: the
+	// paper's baselines have no EMPoWER machinery.
+	ManageRoutes bool
+	// Parallel bounds the replication worker pool (<= 0: GOMAXPROCS).
+	// The worker count never changes results, only wall-clock time.
+	Parallel int
+}
+
+func (c ChurnConfig) runs() int {
+	if c.Runs <= 0 {
+		return 20
+	}
+	return c.Runs
+}
+
+func (c ChurnConfig) schemes() []core.Scheme {
+	if len(c.Schemes) == 0 {
+		return core.AllSchemes()
+	}
+	return c.Schemes
+}
+
+func (c ChurnConfig) bin() float64 {
+	if c.Bin <= 0 {
+		return 0.2
+	}
+	return c.Bin
+}
+
+func (c ChurnConfig) frac() float64 {
+	if c.Frac <= 0 {
+		return 0.8
+	}
+	return c.Frac
+}
+
+// ParseSchemes maps a comma-separated list of paper scheme names
+// ("EMPoWER,SP-w/o-CC", or "all") to scheme values.
+func ParseSchemes(csv string) ([]core.Scheme, error) {
+	if csv == "" || csv == "all" {
+		return core.AllSchemes(), nil
+	}
+	var out []core.Scheme
+	for _, name := range strings.Split(csv, ",") {
+		s, err := core.ParseScheme(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// ChurnRow aggregates one scheme's behaviour across scenario
+// replications.
+type ChurnRow struct {
+	Scheme string `json:"scheme"`
+	// Latencies are the finite failover latencies in seconds, one per
+	// recovered failure episode, in (run, episode) order.
+	Latencies []float64 `json:"latencies"`
+	// Censored counts episodes that never failed over — the flow stayed
+	// degraded until the link itself returned (§6.1's contrast case).
+	Censored int `json:"censored"`
+	// MedianLatency is the median over all episodes with censored ones
+	// counted as infinite; -1 encodes an infinite or undefined median.
+	MedianLatency float64 `json:"median_latency"`
+	// MeanGoodput is the aggregate delivered goodput (Mbps) averaged
+	// over runs; DegradedGoodput the mean goodput of affected flows
+	// inside failure windows.
+	MeanGoodput     float64 `json:"mean_goodput"`
+	DegradedGoodput float64 `json:"degraded_goodput"`
+	// Reroutes counts route-manager swaps (ManageRoutes only);
+	// SkippedFlows counts arrivals that found no route.
+	Reroutes     int `json:"reroutes"`
+	SkippedFlows int `json:"skipped_flows"`
+	Episodes     int `json:"episodes"`
+}
+
+// ChurnResult is the failover experiment outcome.
+type ChurnResult struct {
+	Scenario string     `json:"scenario"`
+	Runs     int        `json:"runs"`
+	Rows     []ChurnRow `json:"rows"`
+}
+
+// churnRun is one (run, scheme) replication outcome.
+type churnRun struct {
+	lat      []float64
+	censored int
+	goodput  float64
+	degraded []float64
+	reroutes int
+	skipped  int
+}
+
+// churnReplication executes one scenario replication under one scheme.
+// All seeds are pure functions of (base seed, run, scheme position), so
+// sweeps are bit-identical at any worker count; the topology realization
+// and the expanded event timeline depend only on the run, so schemes are
+// compared on paired instances.
+func churnReplication(sc *scenario.Scenario, scheme core.Scheme, cfg ChurnConfig, run int, emSeed int64) (*churnRun, error) {
+	if sc.Topology == nil {
+		return nil, fmt.Errorf("experiments: scenario %q has no topology; churn sweeps need self-contained scenarios", sc.Name)
+	}
+	// The topology and timeline seed domains are offset away from the
+	// runner's per-replication SplitSeed(Seed, index) domain: replication
+	// index `run` must not share an RNG stream with run `run`'s channel
+	// realization, or replications would be statistically correlated.
+	topoSeed := stats.SplitSeed(cfg.Seed, 2_000_000+run)
+	net, err := sc.Topology.BuildView(topoSeed, scheme.View())
+	if err != nil {
+		return nil, err
+	}
+	em := node.NewEmulation(net, node.Config{
+		Delta: cfg.Delta, DisableCC: !scheme.CC(), Estimation: true,
+	}, emSeed)
+	opts := scenario.Options{
+		Routes: func(n *graph.Network, src, dst graph.NodeID) []graph.Path {
+			return core.RoutesFor(scheme, n, src, dst)
+		},
+		ManageRoutes: cfg.ManageRoutes && scheme.CC(),
+	}
+	scSeed := stats.SplitSeed(cfg.Seed, 1_000_000+run)
+	rt, err := scenario.Bind(em, sc, scSeed, opts)
+	if err != nil {
+		return nil, err
+	}
+	rt.Run()
+	lat, censored := rt.FailoverLatencies(cfg.bin(), cfg.frac())
+	return &churnRun{
+		lat:      lat,
+		censored: censored,
+		goodput:  rt.AggregateGoodput(),
+		degraded: rt.DegradedGoodput(),
+		reroutes: rt.Reroutes(),
+		skipped:  len(rt.SkippedFlows),
+	}, nil
+}
+
+// ChurnFailover runs the failover experiment: Runs replications of the
+// scenario per scheme, collecting failover-latency distributions and
+// goodput under churn.
+func ChurnFailover(sc *scenario.Scenario, cfg ChurnConfig) (ChurnResult, error) {
+	return ChurnFailoverCtx(context.Background(), sc, cfg)
+}
+
+// ChurnFailoverCtx is ChurnFailover with cancellation. Replications fan
+// out over (run, scheme) on the parallel runner and fold back in run
+// order per scheme.
+func ChurnFailoverCtx(ctx context.Context, sc *scenario.Scenario, cfg ChurnConfig) (ChurnResult, error) {
+	schemes := cfg.schemes()
+	runs := cfg.runs()
+	res := ChurnResult{Scenario: sc.Name, Runs: runs}
+
+	outs, err := runner.Run(ctx, runs*len(schemes), runner.Config{Workers: cfg.Parallel, BaseSeed: cfg.Seed},
+		func(_ context.Context, rep runner.Rep) (*churnRun, error) {
+			run, si := rep.Index/len(schemes), rep.Index%len(schemes)
+			return churnReplication(sc, schemes[si], cfg, run, rep.Seed)
+		})
+	if err != nil {
+		return res, err
+	}
+
+	for si, scheme := range schemes {
+		row := ChurnRow{Scheme: scheme.String()}
+		var goodputs, degraded []float64
+		for run := 0; run < runs; run++ {
+			out := outs[run*len(schemes)+si]
+			row.Latencies = append(row.Latencies, out.lat...)
+			row.Censored += out.censored
+			row.Reroutes += out.reroutes
+			row.SkippedFlows += out.skipped
+			goodputs = append(goodputs, out.goodput)
+			degraded = append(degraded, out.degraded...)
+		}
+		row.Episodes = len(row.Latencies) + row.Censored
+		row.MedianLatency = medianWithCensored(row.Latencies, row.Censored)
+		row.MeanGoodput = stats.Mean(goodputs)
+		row.DegradedGoodput = stats.Mean(degraded)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// medianWithCensored returns the median of the episode latencies with
+// censored episodes counted as +Inf, encoded as -1 (JSON cannot carry
+// infinities).
+func medianWithCensored(finite []float64, censored int) float64 {
+	n := len(finite) + censored
+	if n == 0 {
+		return -1
+	}
+	sorted := append([]float64(nil), finite...)
+	sort.Float64s(sorted)
+	mid := n / 2
+	if mid >= len(sorted) {
+		return -1
+	}
+	return sorted[mid]
+}
+
+// Render prints the per-scheme failover summary and latency CDFs.
+func (r ChurnResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Churn failover: scenario %q, %d runs per scheme\n", r.Scenario, r.Runs)
+	fmt.Fprintf(&b, "%-10s %9s %9s %9s %10s %10s %9s\n",
+		"scheme", "episodes", "censored", "median(s)", "goodput", "degraded", "reroutes")
+	for _, row := range r.Rows {
+		med := "inf"
+		if row.MedianLatency >= 0 {
+			med = fmt.Sprintf("%.2f", row.MedianLatency)
+		}
+		fmt.Fprintf(&b, "%-10s %9d %9d %9s %10.2f %10.2f %9d\n",
+			row.Scheme, row.Episodes, row.Censored, med,
+			row.MeanGoodput, row.DegradedGoodput, row.Reroutes)
+	}
+	fmt.Fprintf(&b, "Failover-latency CDFs (finite episodes only):\n")
+	for _, row := range r.Rows {
+		writeCDF(&b, row.Scheme, row.Latencies)
+	}
+	return b.String()
+}
+
+// FlapSweepResult is the goodput-vs-flap-rate sweep outcome.
+type FlapSweepResult struct {
+	Scenario string `json:"scenario"`
+	// RatesPerMin are the swept flap frequencies (cycles per minute).
+	RatesPerMin []float64 `json:"rates_per_min"`
+	Schemes     []string  `json:"schemes"`
+	// Goodput[s][r] is scheme s's mean aggregate goodput (Mbps) at flap
+	// rate r, averaged over runs.
+	Goodput [][]float64 `json:"goodput"`
+}
+
+// ChurnFlapSweep sweeps the scenario's flap processes across flap
+// frequencies and measures goodput per scheme.
+func ChurnFlapSweep(sc *scenario.Scenario, cfg ChurnConfig, ratesPerMin []float64) (FlapSweepResult, error) {
+	return ChurnFlapSweepCtx(context.Background(), sc, cfg, ratesPerMin)
+}
+
+// ChurnFlapSweepCtx is ChurnFlapSweep with cancellation. For each swept
+// rate, every flap process keeps its down-time fraction but changes its
+// cycle length to 60/rate seconds; everything else about the scenario is
+// untouched. All (rate, run, scheme) replications run on the parallel
+// runner and fold back in index order.
+func ChurnFlapSweepCtx(ctx context.Context, sc *scenario.Scenario, cfg ChurnConfig, ratesPerMin []float64) (FlapSweepResult, error) {
+	schemes := cfg.schemes()
+	runs := cfg.runs()
+	res := FlapSweepResult{Scenario: sc.Name, RatesPerMin: ratesPerMin}
+	for _, s := range schemes {
+		res.Schemes = append(res.Schemes, s.String())
+	}
+
+	scaled := make([]*scenario.Scenario, len(ratesPerMin))
+	for i, rate := range ratesPerMin {
+		if rate <= 0 {
+			return res, fmt.Errorf("experiments: flap rate must be positive, got %g", rate)
+		}
+		scaled[i] = flapScaled(sc, rate)
+	}
+
+	perRate := runs * len(schemes)
+	outs, err := runner.Run(ctx, len(ratesPerMin)*perRate, runner.Config{Workers: cfg.Parallel, BaseSeed: cfg.Seed},
+		func(_ context.Context, rep runner.Rep) (*churnRun, error) {
+			ri := rep.Index / perRate
+			rem := rep.Index % perRate
+			run, si := rem/len(schemes), rem%len(schemes)
+			return churnReplication(scaled[ri], schemes[si], cfg, run, rep.Seed)
+		})
+	if err != nil {
+		return res, err
+	}
+
+	res.Goodput = make([][]float64, len(schemes))
+	for si := range schemes {
+		res.Goodput[si] = make([]float64, len(ratesPerMin))
+		for ri := range ratesPerMin {
+			var g []float64
+			for run := 0; run < runs; run++ {
+				g = append(g, outs[ri*perRate+run*len(schemes)+si].goodput)
+			}
+			res.Goodput[si][ri] = stats.Mean(g)
+		}
+	}
+	return res, nil
+}
+
+// flapScaled derives a scenario whose flap processes run at the given
+// frequency (cycles per minute), preserving each process's down-time
+// fraction exactly: the clamp floors the whole cycle (at 2 s, against
+// degenerate sub-second flapping), never the components, so the realized
+// outage fraction is the scenario's at every swept rate.
+func flapScaled(sc *scenario.Scenario, ratePerMin float64) *scenario.Scenario {
+	out := *sc
+	out.Processes = append([]scenario.Process(nil), sc.Processes...)
+	cycle := 60 / ratePerMin
+	if cycle < 2 {
+		cycle = 2
+	}
+	for i, p := range out.Processes {
+		if p.Kind != scenario.ProcFlap {
+			continue
+		}
+		frac := p.DownMean / (p.DownMean + p.UpMean)
+		p.DownMean = frac * cycle
+		p.UpMean = cycle - p.DownMean
+		out.Processes[i] = p
+	}
+	return &out
+}
+
+// Render prints the sweep as a rate × scheme table.
+func (r FlapSweepResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Goodput vs flap rate: scenario %q (Mbps, mean over runs)\n", r.Scenario)
+	fmt.Fprintf(&b, "%-12s", "flaps/min")
+	for _, s := range r.Schemes {
+		fmt.Fprintf(&b, " %10s", s)
+	}
+	fmt.Fprintln(&b)
+	for ri, rate := range r.RatesPerMin {
+		fmt.Fprintf(&b, "%-12.2f", rate)
+		for si := range r.Schemes {
+			fmt.Fprintf(&b, " %10.2f", r.Goodput[si][ri])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

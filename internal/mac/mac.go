@@ -125,6 +125,32 @@ func (m *MAC) Send(l graph.LinkID, pkt *Packet) bool {
 	return true
 }
 
+// LinkChanged notifies the MAC that link l's capacity was mutated
+// mid-run (the scenario-engine hook). A link that died flushes its queue
+// — the frames are gone with the medium, and holding them would leak
+// their transport metadata and replay stale traffic on recovery — except
+// for a frame already on the air, whose completion event is scheduled. A
+// link that (re)gained capacity re-enters contention immediately; without
+// the kick, queued frames would wait for the next Send to call tryStart.
+func (m *MAC) LinkChanged(l graph.LinkID) {
+	if m.net.Link(l).Capacity > 0 {
+		m.tryStart(l)
+		return
+	}
+	q := m.queues[l]
+	keep := 0
+	if m.transmitting[l] {
+		keep = 1 // in-flight frame: complete() pops it
+	}
+	for _, pkt := range q[keep:] {
+		m.drop(l, pkt, "link-down")
+	}
+	for i := keep; i < len(q); i++ {
+		q[i] = nil
+	}
+	m.queues[l] = q[:keep]
+}
+
 func (m *MAC) drop(l graph.LinkID, pkt *Packet, reason string) {
 	m.stats[l].DroppedPkts++
 	if m.Drop != nil {

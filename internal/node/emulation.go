@@ -25,6 +25,7 @@ import (
 	"math/rand"
 
 	"repro/internal/graph"
+	"repro/internal/linkest"
 	"repro/internal/mac"
 	"repro/internal/sim"
 	"repro/internal/wire"
@@ -218,6 +219,42 @@ func (e *Emulation) deliver(l graph.LinkID, pkt *mac.Packet) {
 
 // Run advances the emulation to absolute virtual time t (seconds).
 func (e *Emulation) Run(t float64) { e.Engine.Run(t) }
+
+// SetLinkCapacity mutates link l's capacity at the current virtual time —
+// the scenario-engine hook behind link failure (c = 0), recovery and
+// capacity drift. Unlike poking Net.Link(l).Capacity directly, it keeps
+// the rest of the stack consistent:
+//
+//   - the MAC flushes a dead link's queue (releasing the transport
+//     metadata of the lost frames) and kicks a recovered link back into
+//     contention;
+//   - on recovery of a dead link, the owning agent's estimator resumes
+//     probe-mode sampling so the estimate re-learns.
+//
+// Detection of the change still happens through traffic-driven estimation
+// (the §6.1 story), never through an oracle shortcut: a failure surfaces
+// when samples stop arriving (linkest.Estimator.Failed, within the
+// failure timeout), a capacity change when the noisy samples move.
+func (e *Emulation) SetLinkCapacity(l graph.LinkID, c float64) {
+	if c < 0 {
+		c = 0
+	}
+	link := e.Net.Link(l)
+	if link.Capacity == c {
+		return
+	}
+	wasDead := link.Capacity <= 0
+	link.Capacity = c
+	e.MAC.LinkChanged(l)
+	if e.cfg.Estimation && wasDead && c > 0 {
+		if est := e.Agents[link.From].est[l]; est != nil {
+			// The estimator starved while the link was down; the probe
+			// tick only samples ModeProbe links, so switch back explicitly
+			// (an active flow's next send flips it to traffic mode again).
+			est.SetMode(linkest.ModeProbe)
+		}
+	}
+}
 
 // broadcastPrice delivers a price frame to every node sharing technology
 // k within interference range of the origin. Price frames are modeled on

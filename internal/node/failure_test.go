@@ -6,47 +6,9 @@ import (
 	"repro/internal/graph"
 )
 
-// TestLinkFailureShiftsTraffic kills one of two parallel routes mid-run:
-// the congestion controller must move the flow onto the surviving route
-// (the §6.1 claim that traffic-driven estimation detects failures within
-// hundreds of milliseconds and the controller adapts).
-func TestLinkFailureShiftsTraffic(t *testing.T) {
-	b := graph.NewBuilder(nil)
-	s := b.AddNode("s", 0, 0, graph.TechPLC, graph.TechWiFi)
-	d := b.AddNode("d", 1, 0, graph.TechPLC, graph.TechWiFi)
-	plc := b.AddLink(s, d, graph.TechPLC, 40)
-	wifi := b.AddLink(s, d, graph.TechWiFi, 40)
-	b.AddLink(d, s, graph.TechPLC, 40)
-	b.AddLink(d, s, graph.TechWiFi, 40)
-	net := b.Build()
-
-	em := NewEmulation(net, Config{Estimation: true}, 31)
-	fl, err := em.AddFlow(FlowSpec{
-		Src: s, Dst: d, Routes: []graph.Path{{plc}, {wifi}}, Kind: TrafficSaturated,
-	}, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	em.Run(30)
-	beforePLC := fl.Rates()[0]
-	if beforePLC < 20 {
-		t.Fatalf("PLC route should carry ~40 before failure, got %.2f", beforePLC)
-	}
-	// The PLC link dies (e.g. a noisy appliance).
-	net.Link(plc).Capacity = 0
-	em.Run(120)
-	after := fl.Rates()
-	if after[0] > 2 {
-		t.Errorf("PLC route rate %.2f after failure, want ~0", after[0])
-	}
-	if after[1] < 25 {
-		t.Errorf("WiFi route rate %.2f after failure, want ~40", after[1])
-	}
-	sink := em.Agent(d).Sinks()[0]
-	if rate := sink.MeanRate(100, 120); rate < 25 {
-		t.Errorf("delivered %.2f Mbps after failover, want most of the WiFi capacity", rate)
-	}
-}
+// TestLinkFailureShiftsTraffic lives in failure_scenario_test.go
+// (package node_test): it runs on the scenario API, which this package
+// cannot import without a cycle.
 
 // TestCapacityDropAdapts halves a link's capacity mid-run; the rate must
 // follow it down without sustained overload.
@@ -67,7 +29,7 @@ func TestCapacityDropAdapts(t *testing.T) {
 	if fl.TotalRate() < 30 {
 		t.Fatalf("rate %.2f before the drop, want ~40", fl.TotalRate())
 	}
-	net.Link(l).Capacity = 20
+	em.Engine.At(30, func() { em.SetLinkCapacity(l, 20) })
 	em.Run(90)
 	if r := fl.TotalRate(); r < 14 || r > 22 {
 		t.Errorf("rate %.2f after capacity drop to 20, want ~18-20", r)
@@ -92,7 +54,7 @@ func TestCapacityRecoveryAdaptsUp(t *testing.T) {
 	em := NewEmulation(net, Config{Estimation: true}, 33)
 	fl, _ := em.AddFlow(FlowSpec{Src: s, Dst: d, Routes: []graph.Path{{l}}, Kind: TrafficSaturated}, 0)
 	em.Run(20)
-	net.Link(l).Capacity = 50
+	em.Engine.At(20, func() { em.SetLinkCapacity(l, 50) })
 	em.Run(80)
 	if r := fl.TotalRate(); r < 35 {
 		t.Errorf("rate %.2f after capacity recovery to 50, want > 35", r)

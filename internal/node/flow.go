@@ -228,8 +228,14 @@ func (f *Flow) emitOne() {
 		return
 	}
 	if f.em.cfg.DisableCC {
-		// Keep up to 4 packets queued per route's first hop.
+		// Keep up to 4 packets queued per route's first hop. A dead first
+		// hop rejects every send without the queue growing — skip it, or
+		// the top-up loop would spin forever (scenario link failures hit
+		// this; w/o-CC sources just blast into the void and lose).
 		for r := range f.routes {
+			if f.em.Net.Link(f.firstLink[r]).Capacity <= 0 {
+				continue
+			}
 			for f.em.MAC.QueueLen(f.firstLink[r]) < 4 {
 				if !f.fileSendable() {
 					return

@@ -32,24 +32,83 @@ type RouteManager struct {
 	// Interval is the check period in seconds (default 2; route checks
 	// are cheap relative to their ~minutes-scale trigger frequency).
 	Interval float64
+	// Select overrides the route-selection procedure run on a reroute
+	// (default: the §3.2 multipath combination with the manager's
+	// routing configuration). Scheme sweeps use this so a single-path
+	// scheme's manager recomputes a single path, not a combination.
+	Select SelectFn
 
 	// Reroutes counts route swaps (for tests and logs).
 	Reroutes int
 
 	lastTotal float64
-	periodic  interface{ Stop() }
+	// lastNetTotal tracks the network-wide estimated capacity sum: the
+	// cheap signal for "a large capacity variation occurred" somewhere
+	// else than on the current routes — most importantly, a previously
+	// failed link coming back, which the current routes' total cannot
+	// see.
+	lastNetTotal float64
+	periodic     interface{ Stop() }
+	fast         interface{ Stop() }
 }
+
+// SelectFn chooses a flow's route set on a network view.
+type SelectFn func(view *graph.Network, src, dst graph.NodeID) []graph.Path
 
 // ManageRoutes starts periodic route maintenance for a flow.
 func (e *Emulation) ManageRoutes(f *Flow, cfg routing.Config) *RouteManager {
 	m := &RouteManager{em: e, flow: f, cfg: cfg, Threshold: 0.3, Interval: 2}
-	m.lastTotal = m.currentTotal(e.EstimatedNetwork())
+	view := e.EstimatedNetwork()
+	m.lastTotal = m.currentTotal(view)
+	m.lastNetTotal = netCapacityTotal(view)
 	m.periodic = e.Engine.Every(m.Interval, m.check)
 	return m
 }
 
+// EnableFastFailover adds a lightweight dead-route check every `interval`
+// seconds (default 0.25 when <= 0) on top of the periodic maintenance:
+// the full §3.2 recomputation stays infrequent, but a route whose
+// capacity estimate collapsed to zero — the estimator's failure signal —
+// triggers an immediate reroute, so failover latency is governed by the
+// estimation timeout (§6.1's hundreds of milliseconds) rather than the
+// maintenance interval. Scenario engines enable this on the flows they
+// manage.
+func (m *RouteManager) EnableFastFailover(interval float64) {
+	if interval <= 0 {
+		interval = 0.25
+	}
+	if m.fast != nil {
+		m.fast.Stop()
+	}
+	m.fast = m.em.Engine.Every(interval, m.failCheck)
+}
+
 // Stop ends maintenance.
-func (m *RouteManager) Stop() { m.periodic.Stop() }
+func (m *RouteManager) Stop() {
+	m.periodic.Stop()
+	if m.fast != nil {
+		m.fast.Stop()
+	}
+}
+
+// CheckNow runs one maintenance round immediately (outside the periodic
+// cadence) — for tests and event-driven callers.
+func (m *RouteManager) CheckNow() { m.check() }
+
+// failCheck is the fast path: recompute only when some current route is
+// dead on the estimated view.
+func (m *RouteManager) failCheck() {
+	if !m.flow.active {
+		return
+	}
+	view := m.em.EstimatedNetwork()
+	for _, p := range m.flow.routes {
+		if routing.RatePath(view, p) <= 0 {
+			m.checkWith(view)
+			return
+		}
+	}
+}
 
 // EstimatedNetwork assembles the routing view of the network from the
 // per-agent capacity estimates: the capacities every EMPoWER node would
@@ -80,8 +139,13 @@ func (m *RouteManager) check() {
 	if !m.flow.active {
 		return
 	}
-	view := m.em.EstimatedNetwork()
+	m.checkWith(m.em.EstimatedNetwork())
+}
+
+// checkWith runs one maintenance round on a prepared network view.
+func (m *RouteManager) checkWith(view *graph.Network) {
 	cur := m.currentTotal(view)
+	netTotal := netCapacityTotal(view)
 	dead := false
 	for _, p := range m.flow.routes {
 		if routing.RatePath(view, p) <= 0 {
@@ -90,26 +154,60 @@ func (m *RouteManager) check() {
 		}
 	}
 	if !dead && m.lastTotal > 0 {
-		rel := math.Abs(cur-m.lastTotal) / m.lastTotal
-		if rel < m.Threshold {
-			return // no large variation: keep the routes (the paper's policy)
+		relRoutes := math.Abs(cur-m.lastTotal) / m.lastTotal
+		relNet := 0.0
+		if m.lastNetTotal > 0 {
+			relNet = math.Abs(netTotal-m.lastNetTotal) / m.lastNetTotal
+		}
+		// The paper's policy: recompute only on failure or large capacity
+		// variation. The variation is watched both on the current routes
+		// and network-wide — a recovered link elsewhere (e.g. the medium
+		// that failed a minute ago coming back) moves only the latter.
+		if relRoutes < m.Threshold && relNet < m.Threshold/2 {
+			return
 		}
 	}
-	comb := routing.Multipath(view, m.flow.Src, m.flow.Dst, m.cfg)
-	if len(comb.Paths) == 0 {
+	paths := m.selectRoutes(view)
+	if len(paths) == 0 {
 		return // nothing better known; keep limping
 	}
-	if !dead && comb.Total <= cur*(1+m.Threshold/2) {
+	total := 0.0
+	for _, r := range routing.SequentialRates(view, paths) {
+		if r > 0 {
+			total += r
+		}
+	}
+	if !dead && total <= cur*(1+m.Threshold/2) {
 		// A variation occurred but the recomputed routes are not
 		// materially better; avoid churning.
 		m.lastTotal = cur
+		m.lastNetTotal = netTotal
 		return
 	}
-	if err := m.flow.SetRoutes(comb.Paths); err != nil {
+	if err := m.flow.setRoutesOn(view, paths); err != nil {
 		return
 	}
 	m.Reroutes++
-	m.lastTotal = comb.Total
+	m.lastTotal = total
+	m.lastNetTotal = netTotal
+}
+
+// selectRoutes runs the configured route selection on a view.
+func (m *RouteManager) selectRoutes(view *graph.Network) []graph.Path {
+	if m.Select != nil {
+		return m.Select(view, m.flow.Src, m.flow.Dst)
+	}
+	return routing.Multipath(view, m.flow.Src, m.flow.Dst, m.cfg).Paths
+}
+
+// netCapacityTotal sums the view's link capacities — the cheap O(L)
+// signal for network-wide capacity variation.
+func netCapacityTotal(view *graph.Network) float64 {
+	var s float64
+	for l := 0; l < view.NumLinks(); l++ {
+		s += view.Link(graph.LinkID(l)).Capacity
+	}
+	return s
 }
 
 // SetRoutes swaps the flow's route set live: congestion-control state is
@@ -117,6 +215,13 @@ func (m *RouteManager) check() {
 // sequence space continues, so the destination's reordering is
 // unaffected. Routes longer than the header limit are rejected.
 func (f *Flow) SetRoutes(routes []graph.Path) error {
+	return f.setRoutesOn(f.em.EstimatedNetwork(), routes)
+}
+
+// setRoutesOn is SetRoutes with the warm-start view supplied by the
+// caller — the route manager already holds the estimated network it
+// selected the routes on, so it must not be cloned a second time.
+func (f *Flow) setRoutesOn(view *graph.Network, routes []graph.Path) error {
 	if len(routes) == 0 {
 		return ErrNoRoutes
 	}
@@ -149,8 +254,18 @@ func (f *Flow) SetRoutes(routes []graph.Path) error {
 	for i := range f.routeLogs {
 		f.routeLogs[i] = newSeriesLog()
 	}
-	for i := range f.x {
-		f.x[i] = f.em.cfg.initialRate()
+	// Warm-start the rates from the estimated network — the link state
+	// the source actually knows — like seedRates does at flow creation
+	// from ground truth. A reroute then costs tens of controller slots
+	// instead of a from-scratch ramp, which is what makes mid-failure
+	// reroutes (the §3.2 policy) non-disruptive.
+	for i, r := range routing.SequentialRates(view, f.routes) {
+		x := 0.85 * r
+		if x < f.em.cfg.initialRate() {
+			x = f.em.cfg.initialRate()
+		}
+		f.x[i] = x
+		f.xbar[i] = x
 	}
 	longest := 0
 	for _, r := range routes {

@@ -136,10 +136,10 @@ func Solve(p Problem, opts SolveOptions) (Solution, error) {
 	// randomized map order, i.e. a different float summation order — and a
 	// different 16th decimal — on every run. Sorted slices make the solver
 	// deterministic and keep map lookups out of the iteration loop.
-	conIdx := make([][]int, len(p.Constraints))     // constraint -> route indices
+	conIdx := make([][]int, len(p.Constraints))      // constraint -> route indices
 	conCoef := make([][]float64, len(p.Constraints)) // constraint -> coefficients
-	routeCons := make([][]int, n)                   // route -> constraint indices
-	routeCoef := make([][]float64, n)               // route -> coefficients
+	routeCons := make([][]int, n)                    // route -> constraint indices
+	routeCoef := make([][]float64, n)                // route -> coefficients
 	for c, con := range p.Constraints {
 		idx := make([]int, 0, len(con.Coef))
 		for r := range con.Coef {

@@ -1,0 +1,641 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"repro/internal/graph"
+	"repro/internal/node"
+	"repro/internal/routing"
+)
+
+// RouteFn selects the routes of a starting flow — the hook scheme sweeps
+// use (core.RoutesFor curried over a scheme). The default is the §3.2
+// multipath procedure.
+type RouteFn func(net *graph.Network, src, dst graph.NodeID) []graph.Path
+
+// Options tunes the binding of a scenario to an emulation.
+type Options struct {
+	// Routes selects routes for starting flows (default: the §3.2
+	// multipath combination with the default routing configuration).
+	Routes RouteFn
+	// MaxRoutes caps every flow's route count (0: no cap). A flow's own
+	// FlowSpec.MaxRoutes still applies on top.
+	MaxRoutes int
+	// ManageRoutes attaches a route manager (§3.2 maintenance) with fast
+	// failover to every flow the scenario starts.
+	ManageRoutes bool
+	// RoutingConfig is the route manager's configuration (zero value:
+	// routing.DefaultConfig).
+	RoutingConfig routing.Config
+	// FastFailover is the manager's dead-route check period in seconds
+	// (0: 0.25).
+	FastFailover float64
+	// Strict makes Bind fail on event references that don't resolve
+	// against the network. The default is lenient — unresolvable events
+	// are dropped and counted in Runtime.Unresolved — because scheme
+	// sweeps legitimately run scenarios on views that lack some links
+	// (a PLC flap has nothing to kill on a WiFi-only view).
+	Strict bool
+	// OnEvent, when set, observes every applied event (for logs).
+	OnEvent func(ev Event)
+}
+
+func (o Options) routes() RouteFn {
+	if o.Routes != nil {
+		return o.Routes
+	}
+	return func(net *graph.Network, src, dst graph.NodeID) []graph.Path {
+		return routing.Multipath(net, src, dst, routing.DefaultConfig()).Paths
+	}
+}
+
+func (o Options) routingConfig() routing.Config {
+	if o.RoutingConfig == (routing.Config{}) {
+		return routing.DefaultConfig()
+	}
+	return o.RoutingConfig
+}
+
+// FlowRecord is the runtime state of one scenario flow.
+type FlowRecord struct {
+	Spec      FlowSpec
+	Flow      *node.Flow
+	Mgr       *node.RouteManager
+	Src, Dst  graph.NodeID
+	StartedAt float64
+	StoppedAt float64 // 0 while running
+}
+
+// Failure is one recorded failure episode affecting one flow: a
+// link-fail (or node-leave, or set-capacity-to-zero) event whose links
+// were on the flow's routes at the time. RecoveredAt is the end of the
+// measurement window — when the link came back, or the scenario
+// duration if it never did.
+type Failure struct {
+	Flow        string
+	Links       []graph.LinkID
+	At          float64
+	RecoveredAt float64
+}
+
+// Transition is one applied ground-truth mutation (for traces and logs).
+type Transition struct {
+	At       float64
+	Kind     EventKind
+	Link     graph.LinkID // -1 for node/flow events
+	Capacity float64
+}
+
+// Runtime is a scenario bound to a running emulation.
+type Runtime struct {
+	Scenario *Scenario
+	Em       *node.Emulation
+
+	opts  Options
+	flows map[string]*FlowRecord
+	order []string // flow names in creation order (deterministic iteration)
+
+	base  []float64 // capacities at bind time, by LinkID
+	saved []float64 // capacity before the last fail, by LinkID
+	left  map[graph.NodeID][]graph.LinkID
+
+	// Unresolved lists events dropped because a reference didn't resolve
+	// (lenient mode). SkippedFlows lists flows that found no routes.
+	Unresolved   []string
+	SkippedFlows []string
+	Transitions  []Transition
+	Failures     []*Failure
+}
+
+// boundEvent is an event with its references resolved at bind time.
+type boundEvent struct {
+	Event
+	links []graph.LinkID
+	src   graph.NodeID
+	dst   graph.NodeID
+	node  graph.NodeID
+}
+
+// Bind expands the scenario's processes with the given seed, resolves
+// every reference against the emulation's network, and schedules the
+// whole timeline on the emulation's engine. The emulation must be at
+// virtual time 0. Run the result with Runtime.Run (or advance the
+// emulation manually and call Finish at the end).
+func Bind(em *node.Emulation, sc *Scenario, seed int64, opts Options) (*Runtime, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		Scenario: sc,
+		Em:       em,
+		opts:     opts,
+		flows:    map[string]*FlowRecord{},
+		left:     map[graph.NodeID][]graph.LinkID{},
+		base:     make([]float64, em.Net.NumLinks()),
+		saved:    make([]float64, em.Net.NumLinks()),
+	}
+	for l := 0; l < em.Net.NumLinks(); l++ {
+		rt.base[l] = em.Net.Link(graph.LinkID(l)).Capacity
+		rt.saved[l] = rt.base[l]
+	}
+
+	for i := range sc.Flows {
+		spec := sc.Flows[i]
+		if _, err := rt.bindFlowSpec(&spec); err != nil {
+			if opts.Strict {
+				return nil, err
+			}
+			rt.Unresolved = append(rt.Unresolved, err.Error())
+			continue
+		}
+		em.Engine.At(spec.Start, func() { rt.startFlow(spec) })
+	}
+
+	events := append([]Event(nil), sc.Events...)
+	events = append(events, expandProcesses(sc, em.Net, seed)...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	for _, ev := range events {
+		if ev.At > sc.Duration {
+			continue
+		}
+		be, err := rt.bindEvent(ev)
+		if err != nil {
+			if opts.Strict {
+				return nil, err
+			}
+			rt.Unresolved = append(rt.Unresolved, err.Error())
+			continue
+		}
+		em.Engine.At(ev.At, func() { rt.apply(be) })
+	}
+	return rt, nil
+}
+
+// Run advances the emulation to the scenario's duration and closes the
+// measurement windows.
+func (rt *Runtime) Run() {
+	rt.Em.Run(rt.Scenario.Duration)
+	rt.Finish()
+}
+
+// Finish closes open failure windows at the current virtual time. Run
+// calls it; callers driving the emulation themselves call it once at the
+// end.
+func (rt *Runtime) Finish() {
+	now := rt.Em.Engine.Now()
+	for _, f := range rt.Failures {
+		if f.RecoveredAt == 0 {
+			f.RecoveredAt = now
+		}
+	}
+}
+
+// Flow returns the runtime record of a named flow (nil if it never
+// started).
+func (rt *Runtime) Flow(name string) *FlowRecord { return rt.flows[name] }
+
+// FlowNames lists the started flows in creation order.
+func (rt *Runtime) FlowNames() []string { return append([]string(nil), rt.order...) }
+
+// bindEvent resolves an event's references.
+func (rt *Runtime) bindEvent(ev Event) (boundEvent, error) {
+	be := boundEvent{Event: ev, node: -1}
+	var err error
+	switch ev.Kind {
+	case LinkFail, LinkRecover, SetCapacity, ScaleCapacity:
+		be.links, err = resolveLink(rt.Em.Net, *ev.Link)
+	case NodeLeave, NodeJoin:
+		be.node, err = resolveNode(rt.Em.Net, ev.Node)
+	case FlowStart:
+		spec := *ev.Flow
+		_, err = rt.bindFlowSpec(&spec)
+		be.Flow = &spec
+	case FlowStop:
+		// Resolution happens at apply time (the flow may not exist yet).
+	}
+	return be, err
+}
+
+// bindFlowSpec resolves a flow's endpoints (mutating the spec is safe:
+// every caller works on its own copy).
+func (rt *Runtime) bindFlowSpec(spec *FlowSpec) (*FlowSpec, error) {
+	if _, err := resolveNode(rt.Em.Net, spec.Src); err != nil {
+		return nil, fmt.Errorf("scenario: flow %q: %w", spec.Name, err)
+	}
+	if _, err := resolveNode(rt.Em.Net, spec.Dst); err != nil {
+		return nil, fmt.Errorf("scenario: flow %q: %w", spec.Name, err)
+	}
+	return spec, nil
+}
+
+// apply executes one event at its scheduled virtual time.
+func (rt *Runtime) apply(be boundEvent) {
+	if rt.opts.OnEvent != nil {
+		rt.opts.OnEvent(be.Event)
+	}
+	switch be.Kind {
+	case LinkFail:
+		rt.fail(be.links)
+	case LinkRecover:
+		rt.recoverLinks(be.links)
+	case SetCapacity:
+		rt.setCapacities(be.Kind, be.links, be.Capacity)
+	case ScaleCapacity:
+		for _, l := range be.links {
+			// Drift rides on a live link: a link that failed (flap,
+			// node-leave) stays dead until its own recovery event —
+			// a drift step must not resurrect it, nor close its
+			// failure window as a spurious recovery.
+			if rt.Em.Net.Link(l).Capacity <= 0 {
+				continue
+			}
+			rt.setCapacity(be.Kind, l, rt.base[l]*be.Factor)
+		}
+	case NodeLeave:
+		links := rt.nodeLinks(be.node)
+		rt.left[be.node] = links
+		rt.fail(links)
+	case NodeJoin:
+		rt.recoverLinks(rt.left[be.node])
+		delete(rt.left, be.node)
+	case FlowStart:
+		rt.startFlow(*be.Flow)
+	case FlowStop:
+		rt.stopFlow(be.FlowName)
+	}
+}
+
+// fail kills links (saving their capacities) and opens failure windows
+// for the flows whose current routes traverse them.
+func (rt *Runtime) fail(links []graph.LinkID) {
+	now := rt.Em.Engine.Now()
+	var killed []graph.LinkID
+	for _, l := range links {
+		if c := rt.Em.Net.Link(l).Capacity; c > 0 {
+			rt.saved[l] = c
+			rt.Em.SetLinkCapacity(l, 0)
+			rt.Transitions = append(rt.Transitions, Transition{At: now, Kind: LinkFail, Link: l})
+			killed = append(killed, l)
+		}
+	}
+	rt.openFailures(killed, now)
+}
+
+// recoverLinks restores dead links to their pre-failure capacity and
+// closes the matching failure windows.
+func (rt *Runtime) recoverLinks(links []graph.LinkID) {
+	now := rt.Em.Engine.Now()
+	for _, l := range links {
+		if rt.Em.Net.Link(l).Capacity <= 0 {
+			c := rt.saved[l]
+			if c <= 0 {
+				c = rt.base[l]
+			}
+			rt.Em.SetLinkCapacity(l, c)
+			rt.Transitions = append(rt.Transitions, Transition{At: now, Kind: LinkRecover, Link: l, Capacity: c})
+		}
+	}
+	rt.closeFailures(links, now)
+}
+
+func (rt *Runtime) setCapacities(kind EventKind, links []graph.LinkID, c float64) {
+	for _, l := range links {
+		rt.setCapacity(kind, l, c)
+	}
+}
+
+// setCapacity applies an arbitrary capacity change, treating a
+// transition through zero as a failure/recovery for the measurement
+// windows.
+func (rt *Runtime) setCapacity(kind EventKind, l graph.LinkID, c float64) {
+	now := rt.Em.Engine.Now()
+	was := rt.Em.Net.Link(l).Capacity
+	if was == c {
+		return
+	}
+	if c <= 0 && was > 0 {
+		rt.saved[l] = was
+	}
+	rt.Em.SetLinkCapacity(l, c)
+	rt.Transitions = append(rt.Transitions, Transition{At: now, Kind: kind, Link: l, Capacity: c})
+	if c <= 0 && was > 0 {
+		rt.openFailures([]graph.LinkID{l}, now)
+	} else if c > 0 && was <= 0 {
+		rt.closeFailures([]graph.LinkID{l}, now)
+	}
+}
+
+// nodeLinks returns the node's live links (both directions).
+func (rt *Runtime) nodeLinks(n graph.NodeID) []graph.LinkID {
+	var out []graph.LinkID
+	for _, l := range rt.Em.Net.Out(n) {
+		if rt.Em.Net.Link(l).Capacity > 0 {
+			out = append(out, l)
+		}
+	}
+	for _, l := range rt.Em.Net.In(n) {
+		if rt.Em.Net.Link(l).Capacity > 0 {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// openFailures records a failure window for every running flow whose
+// current routes use one of the killed links. A flow with an open window
+// is not re-registered: overlapping failures measure as one episode.
+func (rt *Runtime) openFailures(killed []graph.LinkID, now float64) {
+	if len(killed) == 0 {
+		return
+	}
+	open := map[string]bool{}
+	for _, f := range rt.Failures {
+		if f.RecoveredAt == 0 {
+			open[f.Flow] = true
+		}
+	}
+	for _, name := range rt.order {
+		rec := rt.flows[name]
+		if rec.StoppedAt > 0 || open[name] {
+			continue
+		}
+		var hit []graph.LinkID
+		for _, p := range rec.Flow.Routes() {
+			for _, l := range p {
+				for _, k := range killed {
+					if l == k {
+						hit = append(hit, k)
+					}
+				}
+			}
+		}
+		if len(hit) > 0 {
+			rt.Failures = append(rt.Failures, &Failure{Flow: name, Links: hit, At: now})
+		}
+	}
+}
+
+// closeFailures ends the windows of failures involving a recovered link.
+func (rt *Runtime) closeFailures(links []graph.LinkID, now float64) {
+	for _, f := range rt.Failures {
+		if f.RecoveredAt != 0 {
+			continue
+		}
+		for _, fl := range f.Links {
+			for _, l := range links {
+				if fl == l {
+					f.RecoveredAt = now
+					break
+				}
+			}
+		}
+	}
+}
+
+// startFlow computes routes and starts a flow at the current virtual
+// time. Routes are computed on the network as it now is (failed links
+// have zero capacity and are avoided); a flow with no routes is recorded
+// in SkippedFlows, as a blocked arrival would be.
+func (rt *Runtime) startFlow(spec FlowSpec) {
+	now := rt.Em.Engine.Now()
+	if rt.flows[spec.Name] != nil {
+		// Validate catches duplicates among scripted flows; this guards
+		// the remaining hole (a scripted name colliding with a generated
+		// arrival name) so measurements never double-count a record.
+		rt.SkippedFlows = append(rt.SkippedFlows, spec.Name)
+		return
+	}
+	src, err1 := resolveNode(rt.Em.Net, spec.Src)
+	dst, err2 := resolveNode(rt.Em.Net, spec.Dst)
+	if err1 != nil || err2 != nil {
+		rt.SkippedFlows = append(rt.SkippedFlows, spec.Name)
+		return
+	}
+	routes := rt.opts.routes()(rt.Em.Net, src, dst)
+	if max := rt.opts.MaxRoutes; max > 0 && len(routes) > max {
+		routes = routes[:max]
+	}
+	if max := spec.MaxRoutes; max > 0 && len(routes) > max {
+		routes = routes[:max]
+	}
+	if len(routes) == 0 {
+		rt.SkippedFlows = append(rt.SkippedFlows, spec.Name)
+		return
+	}
+	kind := node.TrafficSaturated
+	if spec.Kind == "file" {
+		kind = node.TrafficFile
+	}
+	f, err := rt.Em.AddFlow(node.FlowSpec{
+		Src: src, Dst: dst, Routes: routes, Kind: kind, FileBytes: spec.FileBytes,
+	}, now)
+	if err != nil {
+		rt.SkippedFlows = append(rt.SkippedFlows, spec.Name)
+		return
+	}
+	rec := &FlowRecord{Spec: spec, Flow: f, Src: src, Dst: dst, StartedAt: now}
+	if rt.opts.ManageRoutes {
+		rec.Mgr = rt.Em.ManageRoutes(f, rt.opts.routingConfig())
+		// Reroutes re-run the same selection the flow started with, so
+		// scheme semantics survive maintenance (a single-path scheme's
+		// manager recomputes a single path).
+		rec.Mgr.Select = node.SelectFn(rt.opts.routes())
+		rec.Mgr.EnableFastFailover(rt.opts.FastFailover)
+	}
+	rt.flows[spec.Name] = rec
+	rt.order = append(rt.order, spec.Name)
+	if spec.Stop > now {
+		name := spec.Name
+		rt.Em.Engine.At(spec.Stop, func() { rt.stopFlow(name) })
+	}
+}
+
+// stopFlow halts a running flow (and its route manager).
+func (rt *Runtime) stopFlow(name string) {
+	rec := rt.flows[name]
+	if rec == nil || rec.StoppedAt > 0 {
+		return
+	}
+	rec.StoppedAt = rt.Em.Engine.Now()
+	rec.Flow.Stop()
+	if rec.Mgr != nil {
+		rec.Mgr.Stop()
+	}
+}
+
+// Reroutes sums the route swaps across all managed flows.
+func (rt *Runtime) Reroutes() int {
+	n := 0
+	for _, name := range rt.order {
+		if rec := rt.flows[name]; rec.Mgr != nil {
+			n += rec.Mgr.Reroutes
+		}
+	}
+	return n
+}
+
+// sink returns a flow's destination sink.
+func (rt *Runtime) sink(rec *FlowRecord) *node.Sink {
+	return rt.Em.Agent(rec.Dst).SinkFor(rec.Src, rec.Flow.ID)
+}
+
+// FlowGoodput returns the delivered goodput (Mbps) of a named flow over
+// [from, to].
+func (rt *Runtime) FlowGoodput(name string, from, to float64) float64 {
+	rec := rt.flows[name]
+	if rec == nil {
+		return 0
+	}
+	return rt.sink(rec).MeanRate(from, to)
+}
+
+// AggregateGoodput returns the total delivered goodput of all scenario
+// flows, in Mbps averaged over the scenario duration.
+func (rt *Runtime) AggregateGoodput() float64 {
+	var bits float64
+	for _, name := range rt.order {
+		bits += float64(rt.sink(rt.flows[name]).TotalBytes) * 8
+	}
+	if rt.Scenario.Duration <= 0 {
+		return 0
+	}
+	return bits / rt.Scenario.Duration / 1e6
+}
+
+// FailoverLatencies measures, for every recorded failure episode, the
+// time from the failure until the affected flow's delivered goodput
+// recovered: the first full `bin`-second window inside the episode whose
+// goodput reaches frac of the episode's own steady level (measured over
+// the episode's second half). Episodes whose steady level never exceeds
+// 5 % of the pre-failure goodput did not fail over at all — a
+// single-path scheme that lost its only route — and are counted in
+// `censored` instead of producing a latency, as are episodes that only
+// recover when the link itself returns. Flows that were not delivering
+// before the failure are skipped entirely.
+//
+// This is the §6.1 measurement: EMPoWER's detection (estimation timeout)
+// plus rerouting shows up as a sub-second latency; a scheme without an
+// alternative route shows up censored.
+func (rt *Runtime) FailoverLatencies(bin, frac float64) (latencies []float64, censored int) {
+	if bin <= 0 {
+		bin = 0.2
+	}
+	if frac <= 0 {
+		frac = 0.8
+	}
+	for _, f := range rt.Failures {
+		rec := rt.flows[f.Flow]
+		if rec == nil || f.RecoveredAt <= f.At {
+			continue
+		}
+		sink := rt.sink(rec)
+		preFrom := f.At - 5
+		if preFrom < rec.StartedAt {
+			preFrom = rec.StartedAt
+		}
+		pre := sink.MeanRate(preFrom, f.At)
+		if pre <= 0.5 {
+			continue // the flow wasn't delivering; nothing to fail over
+		}
+		mid := f.At + (f.RecoveredAt-f.At)/2
+		steady := sink.MeanRate(mid, f.RecoveredAt)
+		if steady < 0.05*pre {
+			censored++ // degraded for the whole episode (no alternative)
+			continue
+		}
+		target := frac * steady
+		ts, rates := sink.RateSeries(bin)
+		lat := math.Inf(1)
+		for i, t := range ts {
+			if t-bin/2 < f.At {
+				continue // bin overlaps the pre-failure regime
+			}
+			if t+bin/2 > f.RecoveredAt {
+				break
+			}
+			if rates[i] >= target {
+				lat = t + bin/2 - f.At
+				break
+			}
+		}
+		if math.IsInf(lat, 1) {
+			censored++
+			continue
+		}
+		latencies = append(latencies, lat)
+	}
+	return latencies, censored
+}
+
+// DegradedGoodput returns, per failure episode, the affected flow's mean
+// goodput inside the episode window — the quantity that stays near zero
+// for schemes that cannot fail over (§6.1's contrast case).
+func (rt *Runtime) DegradedGoodput() []float64 {
+	var out []float64
+	for _, f := range rt.Failures {
+		rec := rt.flows[f.Flow]
+		if rec == nil || f.RecoveredAt <= f.At {
+			continue
+		}
+		out = append(out, rt.sink(rec).MeanRate(f.At, f.RecoveredAt))
+	}
+	return out
+}
+
+// resolveNode maps a node reference — a graph node name, or a bare
+// integer taken as a 0-based node index — to its NodeID.
+func resolveNode(net *graph.Network, ref string) (graph.NodeID, error) {
+	for i := range net.Nodes {
+		if net.Nodes[i].Name == ref {
+			return graph.NodeID(i), nil
+		}
+	}
+	if k, err := strconv.Atoi(ref); err == nil && k >= 0 && k < net.NumNodes() {
+		return graph.NodeID(k), nil
+	}
+	return 0, fmt.Errorf("scenario: no node %q in the network", ref)
+}
+
+// resolveLink maps a LinkRef to concrete link IDs (both directions
+// unless one-way), ignoring current capacities so dead links resolve
+// too.
+func resolveLink(net *graph.Network, ref LinkRef) ([]graph.LinkID, error) {
+	from, err := resolveNode(net, ref.From)
+	if err != nil {
+		return nil, err
+	}
+	to, err := resolveNode(net, ref.To)
+	if err != nil {
+		return nil, err
+	}
+	tech, err := ParseTech(ref.Tech)
+	if err != nil {
+		return nil, err
+	}
+	find := func(a, b graph.NodeID) (graph.LinkID, bool) {
+		for _, l := range net.Out(a) {
+			link := net.Link(l)
+			if link.To == b && link.Tech == tech {
+				return l, true
+			}
+		}
+		return 0, false
+	}
+	var out []graph.LinkID
+	fwd, ok := find(from, to)
+	if ok {
+		out = append(out, fwd)
+	}
+	if !ref.OneWay {
+		if rev, ok := find(to, from); ok {
+			out = append(out, rev)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("scenario: no %s link %s->%s in the network", ref.Tech, ref.From, ref.To)
+	}
+	return out, nil
+}

@@ -1,0 +1,140 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// expandProcesses turns every stochastic process into concrete timeline
+// events. Each process draws from its own RNG stream seeded by
+// stats.SplitSeed(seed, index) — a pure function of (seed, process
+// position), never of scheduling — so the realized timeline is
+// bit-identical across runs and worker counts, and adding a process at
+// the end never perturbs the ones before it.
+func expandProcesses(sc *Scenario, net *graph.Network, seed int64) []Event {
+	var out []Event
+	for i, p := range sc.Processes {
+		rng := stats.NewRand(stats.SplitSeed(seed, i))
+		switch p.Kind {
+		case ProcFlap:
+			out = append(out, expandFlap(p, sc.Duration, rng)...)
+		case ProcDrift:
+			out = append(out, expandDrift(p, sc.Duration, rng)...)
+		case ProcPoissonFlows:
+			out = append(out, expandPoisson(p, i, sc.Duration, net, rng)...)
+		}
+	}
+	return out
+}
+
+// expandFlap alternates fail/recover (or leave/join) with exponential
+// holding times.
+func expandFlap(p Process, duration float64, rng *rand.Rand) []Event {
+	fail, recover := LinkFail, LinkRecover
+	if p.Node != "" {
+		fail, recover = NodeLeave, NodeJoin
+	}
+	t := p.FirstAt
+	if t <= 0 {
+		t = rng.ExpFloat64() * p.UpMean
+	}
+	var out []Event
+	for t < duration {
+		out = append(out, Event{At: t, Kind: fail, Link: p.Link, Node: p.Node})
+		t += rng.ExpFloat64() * p.DownMean
+		if t >= duration {
+			break
+		}
+		out = append(out, Event{At: t, Kind: recover, Link: p.Link, Node: p.Node})
+		t += rng.ExpFloat64() * p.UpMean
+	}
+	return out
+}
+
+// expandDrift emits a multiplicative lognormal random walk as
+// scale-capacity events. Factors are cumulative relative to the
+// bind-time capacity (clamped to [floor, ceil] of it), so the realized
+// trajectory never depends on what other events did to the link in
+// between.
+func expandDrift(p Process, duration float64, rng *rand.Rand) []Event {
+	floor, ceil := p.Floor, p.Ceil
+	if floor <= 0 {
+		floor = 0.1
+	}
+	if ceil <= 0 {
+		ceil = 1.5
+	}
+	t := p.FirstAt
+	if t <= 0 {
+		t = p.Interval
+	}
+	factor := 1.0
+	var out []Event
+	for ; t < duration; t += p.Interval {
+		factor *= math.Exp(rng.NormFloat64() * p.Std)
+		if factor < floor {
+			factor = floor
+		}
+		if factor > ceil {
+			factor = ceil
+		}
+		out = append(out, Event{At: t, Kind: ScaleCapacity, Link: p.Link, Factor: factor})
+	}
+	return out
+}
+
+// expandPoisson emits flow-start events with Poisson arrival times; each
+// flow carries its departure in Stop (exponential holding time) or a
+// file size. Random pairs draw the source uniformly among nodes with
+// egress links and the destination among the remaining nodes, mirroring
+// topology.Instance.RandomFlow; whether a route exists is decided at the
+// event time, on the network as it then is.
+func expandPoisson(p Process, index int, duration float64, net *graph.Network, rng *rand.Rand) []Event {
+	var sources []graph.NodeID
+	if p.Src == "" {
+		for i := 0; i < net.NumNodes(); i++ {
+			if len(net.Out(graph.NodeID(i))) > 0 {
+				sources = append(sources, graph.NodeID(i))
+			}
+		}
+		if len(sources) == 0 {
+			return nil
+		}
+	}
+	t := p.FirstAt
+	var out []Event
+	for n := 0; ; n++ {
+		t += rng.ExpFloat64() / p.Rate
+		if t >= duration {
+			return out
+		}
+		spec := FlowSpec{
+			Name:  fmt.Sprintf("arrival-%d-%d", index, n),
+			Src:   p.Src,
+			Dst:   p.Dst,
+			Start: t,
+		}
+		if p.Src == "" {
+			src := sources[rng.Intn(len(sources))]
+			dst := graph.NodeID(rng.Intn(net.NumNodes() - 1))
+			if dst >= src {
+				dst++
+			}
+			spec.Src = strconv.Itoa(int(src))
+			spec.Dst = strconv.Itoa(int(dst))
+		}
+		if p.FileBytes > 0 {
+			spec.Kind = "file"
+			spec.FileBytes = p.FileBytes
+		} else {
+			spec.Stop = t + rng.ExpFloat64()*p.HoldMean
+		}
+		f := spec
+		out = append(out, Event{At: t, Kind: FlowStart, Flow: &f})
+	}
+}

@@ -1,0 +1,390 @@
+// Package scenario is the declarative dynamic-network engine of the
+// reproduction: a deterministic, composable timeline of network dynamics
+// — link failure and recovery, capacity drift, node churn, and stochastic
+// flow arrival/departure processes — driven into a running packet
+// emulation (internal/node) through its scenario hooks.
+//
+// The paper's central claim is that EMPoWER's traffic-driven estimation
+// and distributed congestion controller adapt to *changing* hybrid
+// networks (§6.1 reports failover within hundreds of milliseconds), yet
+// its evaluation scripts each dynamic case by hand. A Scenario
+// systematizes that workload class: it is data (JSON-loadable, see Load)
+// or code (the builder methods), and binding it to an emulation expands
+// every stochastic process into a concrete event timeline using seeds
+// split with stats.SplitSeed — so a (scenario, seed) pair fully
+// determines a trajectory, replications stay bit-identical at any worker
+// count, and the runner can fan sweeps out across cores.
+//
+// Dynamics remain honest: scenario events mutate ground truth (link
+// capacities, node presence, offered load) through
+// node.Emulation.SetLinkCapacity and friends; the agents still have to
+// *detect* the change through traffic-driven capacity estimation, exactly
+// as on the paper's testbed. There is no oracle side channel from the
+// scenario engine into the congestion controller or the route manager.
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/netio"
+)
+
+// Scenario is a declarative dynamic-workload description: an optional
+// topology, the initial flows, an explicit event timeline, and stochastic
+// processes expanded at bind time.
+type Scenario struct {
+	Name string `json:"name"`
+	// Duration is the emulated length in seconds; Bind schedules nothing
+	// past it and Runtime.Run advances the engine exactly this far.
+	Duration float64 `json:"duration"`
+	// Topology, when present, makes the scenario self-contained: the CLI
+	// and the experiment sweeps materialize the network from it (per-run
+	// channel realizations for generated kinds). A nil Topology means the
+	// caller supplies the network.
+	Topology *TopologySpec `json:"topology,omitempty"`
+	// Flows are the scripted flows (arrival processes add more).
+	Flows []FlowSpec `json:"flows,omitempty"`
+	// Events is the explicit timeline.
+	Events []Event `json:"events,omitempty"`
+	// Processes are stochastic event generators (flapping links, capacity
+	// drift, Poisson flow arrivals), expanded deterministically at Bind.
+	Processes []Process `json:"processes,omitempty"`
+}
+
+// EventKind enumerates the timeline mutations.
+type EventKind string
+
+// Event kinds.
+const (
+	// LinkFail sets the referenced link's capacity to zero (both
+	// directions unless the reference is one-way), remembering the
+	// previous capacity for LinkRecover.
+	LinkFail EventKind = "link-fail"
+	// LinkRecover restores the capacity saved by the last LinkFail (or
+	// the bind-time capacity when the link never failed).
+	LinkRecover EventKind = "link-recover"
+	// SetCapacity sets the referenced link's capacity to Event.Capacity
+	// (Mbps) — e.g. a modulation downgrade.
+	SetCapacity EventKind = "set-capacity"
+	// ScaleCapacity sets the capacity to Event.Factor times the bind-time
+	// capacity (drift processes emit these, so the walk is relative to
+	// the realized topology, never path-dependent).
+	ScaleCapacity EventKind = "scale-capacity"
+	// NodeLeave fails every link touching Event.Node (the station powers
+	// off / roams away).
+	NodeLeave EventKind = "node-leave"
+	// NodeJoin restores exactly the links the matching NodeLeave killed.
+	NodeJoin EventKind = "node-join"
+	// FlowStart starts Event.Flow at the event time; routes are computed
+	// then, on the network as it is.
+	FlowStart EventKind = "flow-start"
+	// FlowStop stops the flow named Event.FlowName.
+	FlowStop EventKind = "flow-stop"
+)
+
+// LinkRef names a link by its endpoints and technology. Nodes are
+// referenced by graph node name, with a bare integer accepted as a
+// 0-based node index (generated topologies name their nodes "n1".."nN"
+// or "node1".."node22", so names are always available). A LinkRef covers
+// both directions of the connection unless OneWay is set — a dying
+// medium (the noisy appliance of §6.1) takes both with it.
+type LinkRef struct {
+	From   string `json:"from"`
+	To     string `json:"to"`
+	Tech   string `json:"tech"`
+	OneWay bool   `json:"one_way,omitempty"`
+}
+
+func (r LinkRef) String() string {
+	arrow := "<->"
+	if r.OneWay {
+		arrow = "->"
+	}
+	return fmt.Sprintf("%s%s%s/%s", r.From, arrow, r.To, r.Tech)
+}
+
+// FlowSpec scripts one flow of the scenario.
+type FlowSpec struct {
+	// Name identifies the flow for FlowStop events and measurements.
+	// Bind rejects duplicate names; expanded arrival processes generate
+	// unique names ("arrival-<process>-<n>").
+	Name string `json:"name"`
+	Src  string `json:"src"`
+	Dst  string `json:"dst"`
+	// Start and Stop are absolute virtual times; Stop 0 means the flow
+	// runs to the end of the scenario.
+	Start float64 `json:"start"`
+	Stop  float64 `json:"stop,omitempty"`
+	// Kind is "saturated" (default) or "file".
+	Kind string `json:"kind,omitempty"`
+	// FileBytes is the transfer size for "file" flows.
+	FileBytes int64 `json:"file_bytes,omitempty"`
+	// MaxRoutes caps the number of routes the flow uses (0: no cap
+	// beyond the binding Options).
+	MaxRoutes int `json:"max_routes,omitempty"`
+}
+
+// Process kinds.
+const (
+	// ProcFlap alternates the referenced link (or node) between down and
+	// up with exponential holding times.
+	ProcFlap = "flap"
+	// ProcDrift random-walks the referenced link's capacity around its
+	// bind-time value (a noisy appliance degrading PLC, a fading WiFi
+	// channel).
+	ProcDrift = "drift"
+	// ProcPoissonFlows adds flows with Poisson arrivals and exponential
+	// holding times between a fixed or random pair.
+	ProcPoissonFlows = "poisson-flows"
+)
+
+// Process is a stochastic event generator. Expansion happens at Bind
+// with a per-process RNG stream seeded by stats.SplitSeed(seed, index),
+// so the realized timeline depends only on (scenario, seed).
+type Process struct {
+	Kind string `json:"kind"`
+	// Link targets ProcFlap / ProcDrift at a link; Node targets ProcFlap
+	// at a whole node (churn).
+	Link *LinkRef `json:"link,omitempty"`
+	Node string   `json:"node,omitempty"`
+
+	// FirstAt is the time of the first transition (flap: first failure;
+	// drift: first step; arrivals: start of the arrival window).
+	FirstAt float64 `json:"first_at,omitempty"`
+	// DownMean and UpMean are the mean down/up holding times in seconds
+	// for ProcFlap (exponential).
+	DownMean float64 `json:"down_mean,omitempty"`
+	UpMean   float64 `json:"up_mean,omitempty"`
+
+	// Interval is the drift step period; Std the per-step lognormal
+	// standard deviation; Floor and Ceil clamp the cumulative factor
+	// (defaults 0.1 and 1.5 of the bind-time capacity).
+	Interval float64 `json:"interval,omitempty"`
+	Std      float64 `json:"std,omitempty"`
+	Floor    float64 `json:"floor,omitempty"`
+	Ceil     float64 `json:"ceil,omitempty"`
+
+	// Rate is the arrival rate in flows per second; HoldMean the mean
+	// exponential flow lifetime. Src/Dst empty means each arrival draws
+	// a random pair (source among nodes with egress links).
+	Rate     float64 `json:"rate,omitempty"`
+	HoldMean float64 `json:"hold_mean,omitempty"`
+	Src      string  `json:"src,omitempty"`
+	Dst      string  `json:"dst,omitempty"`
+	// FileBytes > 0 makes arrivals file transfers of that size instead
+	// of holding-time-bounded saturated flows.
+	FileBytes int64 `json:"file_bytes,omitempty"`
+}
+
+// Event is one timed mutation of the running emulation.
+type Event struct {
+	At       float64   `json:"at"`
+	Kind     EventKind `json:"kind"`
+	Link     *LinkRef  `json:"link,omitempty"`
+	Node     string    `json:"node,omitempty"`
+	Capacity float64   `json:"capacity,omitempty"`
+	Factor   float64   `json:"factor,omitempty"`
+	Flow     *FlowSpec `json:"flow,omitempty"`
+	FlowName string    `json:"flow_name,omitempty"`
+}
+
+// New starts a scenario of the given name and duration (builder API).
+func New(name string, duration float64) *Scenario {
+	return &Scenario{Name: name, Duration: duration}
+}
+
+// Link is a convenience constructor for a bidirectional link reference.
+func Link(from, to string, tech graph.Tech) LinkRef {
+	return LinkRef{From: from, To: to, Tech: tech.String()}
+}
+
+// AddFlow schedules a flow.
+func (s *Scenario) AddFlow(f FlowSpec) *Scenario {
+	s.Flows = append(s.Flows, f)
+	return s
+}
+
+// FailLink schedules a link failure at time t.
+func (s *Scenario) FailLink(t float64, ref LinkRef) *Scenario {
+	r := ref
+	s.Events = append(s.Events, Event{At: t, Kind: LinkFail, Link: &r})
+	return s
+}
+
+// RecoverLink schedules a link recovery at time t.
+func (s *Scenario) RecoverLink(t float64, ref LinkRef) *Scenario {
+	r := ref
+	s.Events = append(s.Events, Event{At: t, Kind: LinkRecover, Link: &r})
+	return s
+}
+
+// SetLinkCapacity schedules a capacity change at time t (Mbps).
+func (s *Scenario) SetLinkCapacity(t float64, ref LinkRef, capacity float64) *Scenario {
+	r := ref
+	s.Events = append(s.Events, Event{At: t, Kind: SetCapacity, Link: &r, Capacity: capacity})
+	return s
+}
+
+// NodeLeave schedules a node departure at time t.
+func (s *Scenario) NodeLeave(t float64, node string) *Scenario {
+	s.Events = append(s.Events, Event{At: t, Kind: NodeLeave, Node: node})
+	return s
+}
+
+// NodeJoin schedules the node's return at time t.
+func (s *Scenario) NodeJoin(t float64, node string) *Scenario {
+	s.Events = append(s.Events, Event{At: t, Kind: NodeJoin, Node: node})
+	return s
+}
+
+// StopFlow schedules stopping the named flow at time t.
+func (s *Scenario) StopFlow(t float64, name string) *Scenario {
+	s.Events = append(s.Events, Event{At: t, Kind: FlowStop, FlowName: name})
+	return s
+}
+
+// Flap adds a link-flapping process: first failure at firstAt, then
+// exponential down/up holding times with the given means.
+func (s *Scenario) Flap(ref LinkRef, firstAt, downMean, upMean float64) *Scenario {
+	r := ref
+	s.Processes = append(s.Processes, Process{
+		Kind: ProcFlap, Link: &r, FirstAt: firstAt, DownMean: downMean, UpMean: upMean,
+	})
+	return s
+}
+
+// FlapNode adds a node-churn process (the node leaves and rejoins with
+// exponential holding times).
+func (s *Scenario) FlapNode(node string, firstAt, downMean, upMean float64) *Scenario {
+	s.Processes = append(s.Processes, Process{
+		Kind: ProcFlap, Node: node, FirstAt: firstAt, DownMean: downMean, UpMean: upMean,
+	})
+	return s
+}
+
+// Drift adds a capacity-drift process on a link: every interval seconds
+// the capacity moves one lognormal random-walk step (std per step),
+// clamped to [floor, ceil] times the bind-time capacity.
+func (s *Scenario) Drift(ref LinkRef, interval, std, floor, ceil float64) *Scenario {
+	r := ref
+	s.Processes = append(s.Processes, Process{
+		Kind: ProcDrift, Link: &r, Interval: interval, Std: std, Floor: floor, Ceil: ceil,
+	})
+	return s
+}
+
+// PoissonFlows adds a flow arrival process: arrivals at `rate` per
+// second, each flow living an exponential time of mean holdMean. Empty
+// src/dst draws a random pair per arrival.
+func (s *Scenario) PoissonFlows(rate, holdMean float64, src, dst string) *Scenario {
+	s.Processes = append(s.Processes, Process{
+		Kind: ProcPoissonFlows, Rate: rate, HoldMean: holdMean, Src: src, Dst: dst,
+	})
+	return s
+}
+
+// Validate checks the scenario's static structure (reference resolution
+// happens at Bind, against the concrete network).
+func (s *Scenario) Validate() error {
+	if s.Duration <= 0 {
+		return fmt.Errorf("scenario %q: duration must be positive, got %g", s.Name, s.Duration)
+	}
+	names := map[string]bool{}
+	checkFlow := func(f FlowSpec, what string) error {
+		if f.Name == "" {
+			return fmt.Errorf("scenario %q: %s has no name", s.Name, what)
+		}
+		if names[f.Name] {
+			return fmt.Errorf("scenario %q: duplicate flow name %q", s.Name, f.Name)
+		}
+		names[f.Name] = true
+		if f.Src == "" || f.Dst == "" {
+			return fmt.Errorf("scenario %q: flow %q needs src and dst", s.Name, f.Name)
+		}
+		if f.Kind != "" && f.Kind != "saturated" && f.Kind != "file" {
+			return fmt.Errorf("scenario %q: flow %q has unknown kind %q", s.Name, f.Name, f.Kind)
+		}
+		if f.Kind == "file" && f.FileBytes <= 0 {
+			return fmt.Errorf("scenario %q: file flow %q needs file_bytes", s.Name, f.Name)
+		}
+		return nil
+	}
+	for i, f := range s.Flows {
+		if err := checkFlow(f, fmt.Sprintf("flow %d", i)); err != nil {
+			return err
+		}
+	}
+	for i, ev := range s.Events {
+		if ev.At < 0 {
+			return fmt.Errorf("scenario %q: event %d at negative time %g", s.Name, i, ev.At)
+		}
+		switch ev.Kind {
+		case LinkFail, LinkRecover, SetCapacity, ScaleCapacity:
+			if ev.Link == nil {
+				return fmt.Errorf("scenario %q: %s event %d needs a link", s.Name, ev.Kind, i)
+			}
+		case NodeLeave, NodeJoin:
+			if ev.Node == "" {
+				return fmt.Errorf("scenario %q: %s event %d needs a node", s.Name, ev.Kind, i)
+			}
+		case FlowStart:
+			if ev.Flow == nil {
+				return fmt.Errorf("scenario %q: flow-start event %d needs a flow", s.Name, i)
+			}
+			if err := checkFlow(*ev.Flow, fmt.Sprintf("flow-start event %d's flow", i)); err != nil {
+				return err
+			}
+		case FlowStop:
+			if ev.FlowName == "" {
+				return fmt.Errorf("scenario %q: flow-stop event %d needs a flow name", s.Name, i)
+			}
+		default:
+			return fmt.Errorf("scenario %q: event %d has unknown kind %q", s.Name, i, ev.Kind)
+		}
+	}
+	for i, p := range s.Processes {
+		switch p.Kind {
+		case ProcFlap:
+			if (p.Link == nil) == (p.Node == "") {
+				return fmt.Errorf("scenario %q: flap process %d needs exactly one of link or node", s.Name, i)
+			}
+			if p.DownMean <= 0 || p.UpMean <= 0 {
+				return fmt.Errorf("scenario %q: flap process %d needs positive down_mean and up_mean", s.Name, i)
+			}
+		case ProcDrift:
+			if p.Link == nil {
+				return fmt.Errorf("scenario %q: drift process %d needs a link", s.Name, i)
+			}
+			if p.Interval <= 0 || p.Std <= 0 {
+				return fmt.Errorf("scenario %q: drift process %d needs positive interval and std", s.Name, i)
+			}
+		case ProcPoissonFlows:
+			if p.Rate <= 0 {
+				return fmt.Errorf("scenario %q: poisson-flows process %d needs a positive rate", s.Name, i)
+			}
+			if p.HoldMean <= 0 && p.FileBytes <= 0 {
+				return fmt.Errorf("scenario %q: poisson-flows process %d needs hold_mean or file_bytes", s.Name, i)
+			}
+			if (p.Src == "") != (p.Dst == "") {
+				return fmt.Errorf("scenario %q: poisson-flows process %d needs both src and dst, or neither", s.Name, i)
+			}
+		default:
+			return fmt.Errorf("scenario %q: process %d has unknown kind %q", s.Name, i, p.Kind)
+		}
+	}
+	if s.Topology != nil {
+		if err := s.Topology.validate(); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+	}
+	return nil
+}
+
+// ParseTech maps a technology name to its graph.Tech value. It defers
+// to netio.ParseTech — the codebase's one JSON tech parser — so both
+// JSON dialects accept the same case-insensitive names ("PLC", "wifi",
+// "WiFi2", ...).
+func ParseTech(name string) (graph.Tech, error) {
+	return netio.ParseTech(name)
+}

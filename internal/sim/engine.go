@@ -20,15 +20,21 @@ type Timer struct {
 	at    float64
 	seq   uint64
 	fn    func()
-	index int // heap index, -1 when fired or cancelled
+	index int     // heap index, -1 when fired or cancelled
+	owner *Engine // heap the timer lives in while scheduled
 }
 
-// Cancel prevents the timer from firing. Cancelling a fired or already-
-// cancelled timer is a no-op.
+// Cancel prevents the timer from firing and removes it from the engine's
+// heap immediately (via the tracked heap index), so workloads that
+// schedule and cancel many timers — scenario engines flapping links, the
+// emulation's per-flow send timers — don't accumulate dead entries until
+// they are popped. Cancelling a fired or already-cancelled timer is a
+// no-op.
 func (t *Timer) Cancel() {
-	if t.index >= 0 {
-		t.fn = nil
+	if t.index >= 0 && t.owner != nil {
+		heap.Remove(&t.owner.heap, t.index)
 	}
+	t.fn = nil
 }
 
 // When returns the virtual time the timer fires at.
@@ -101,7 +107,7 @@ func (e *Engine) At(t float64, fn func()) *Timer {
 		t = e.now
 	}
 	e.seq++
-	timer := &Timer{at: t, seq: e.seq, fn: fn}
+	timer := &Timer{at: t, seq: e.seq, fn: fn, owner: e}
 	heap.Push(&e.heap, timer)
 	return timer
 }

@@ -182,3 +182,60 @@ func TestTimerWhen(t *testing.T) {
 		t.Errorf("When = %v, want 4", timer.When())
 	}
 }
+
+// TestCancelRemovesFromHeap pins the heap-hygiene contract of Cancel:
+// cancelling a timer removes it from the heap immediately (via the
+// tracked index) instead of leaving a dead entry behind until it is
+// popped. Scenario engines that schedule and cancel many flap timers
+// would otherwise bloat the heap with corpses.
+func TestCancelRemovesFromHeap(t *testing.T) {
+	var e Engine
+	var timers []*Timer
+	for i := 0; i < 100; i++ {
+		i := i
+		timers = append(timers, e.Schedule(float64(i+1), func() { _ = i }))
+	}
+	if len(e.heap) != 100 {
+		t.Fatalf("heap length %d after scheduling, want 100", len(e.heap))
+	}
+	// Cancel from the middle, the head, and the tail.
+	for _, i := range []int{50, 0, 99, 25, 75} {
+		timers[i].Cancel()
+	}
+	if len(e.heap) != 95 {
+		t.Fatalf("heap length %d after 5 cancels, want 95", len(e.heap))
+	}
+	// Double-cancel is a no-op.
+	timers[50].Cancel()
+	if len(e.heap) != 95 {
+		t.Fatalf("heap length %d after double cancel, want 95", len(e.heap))
+	}
+	// The survivors still fire, in order.
+	fired := e.RunUntilIdle()
+	if fired != 95 {
+		t.Fatalf("fired %d timers, want 95", fired)
+	}
+	if len(e.heap) != 0 {
+		t.Fatalf("heap length %d after drain, want 0", len(e.heap))
+	}
+	// Cancelling a fired timer is a no-op.
+	timers[1].Cancel()
+}
+
+// TestCancelDuringHandler cancels a pending timer from inside another
+// handler at the same timestamp; the heap must stay consistent and the
+// cancelled timer must not fire.
+func TestCancelDuringHandler(t *testing.T) {
+	var e Engine
+	firedB := false
+	var b *Timer
+	e.Schedule(1, func() { b.Cancel() }) // same time, scheduled first: fires first (FIFO)
+	b = e.Schedule(1, func() { firedB = true })
+	e.RunUntilIdle()
+	if firedB {
+		t.Fatal("timer fired despite being cancelled by an earlier same-time handler")
+	}
+	if len(e.heap) != 0 {
+		t.Fatalf("heap length %d after run, want 0", len(e.heap))
+	}
+}

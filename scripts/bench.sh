@@ -1,43 +1,58 @@
 #!/usr/bin/env bash
-# Runs the routing and controller micro-benchmarks plus the Figure-4 sweep
-# bench and records ns/op, B/op and allocs/op in BENCH_ROUTING.json, so the
-# hot-path perf trajectory is tracked from PR 2 onward.
+# Runs the tracked benchmark suites and records ns/op, B/op and allocs/op
+# as JSON, so the perf trajectory is visible per PR (CI uploads the
+# BENCH_*.json files as artifacts):
 #
-# Usage: scripts/bench.sh [output.json]
+#   BENCH_ROUTING.json  — routing and controller micro-benchmarks plus the
+#                         Figure-4 sweep bench (tracked since PR 2)
+#   BENCH_SCENARIO.json — the churn-sweep bench: the dynamic-network
+#                         scenario engine end to end (tracked since PR 3)
+#
+# Usage: scripts/bench.sh [routing-output.json [scenario-output.json]]
 #   BENCHTIME=200ms scripts/bench.sh   # quicker, noisier run
+#   BENCHTIME=1x    scripts/bench.sh   # smoke (what CI records)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_ROUTING.json}"
+routing_out="${1:-BENCH_ROUTING.json}"
+scenario_out="${2:-BENCH_SCENARIO.json}"
 benchtime="${BENCHTIME:-1s}"
-pattern='BenchmarkRoutingN5$|BenchmarkAblationNShortest|BenchmarkAblationCSC|BenchmarkControllerSlot$|BenchmarkFigure4ParallelSweep'
 
-tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
-go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -count 1 . | tee "$tmp" >&2
+# run_bench PATTERN OUTPUT — runs the root-package benchmarks matching
+# PATTERN and records them as a JSON document in OUTPUT.
+run_bench() {
+  local pattern="$1" out="$2" tmp
+  tmp="$(mktemp)"
+  # shellcheck disable=SC2064
+  trap "rm -f '$tmp'" RETURN
+  go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -count 1 . | tee "$tmp" >&2
 
-{
-  printf '{\n'
-  printf '  "generated": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
-  printf '  "go": "%s",\n' "$(go env GOVERSION)"
-  printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
-  printf '  "benchtime": "%s",\n' "$benchtime"
-  printf '  "benchmarks": [\n'
-  awk '
-    /^Benchmark/ {
-      name = $1; sub(/-[0-9]+$/, "", name)
-      nsop = "null"; bop = "null"; allocs = "null"
-      for (i = 3; i < NF; i++) {
-        if ($(i+1) == "ns/op") nsop = $i
-        if ($(i+1) == "B/op") bop = $i
-        if ($(i+1) == "allocs/op") allocs = $i
+  {
+    printf '{\n'
+    printf '  "generated": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "go": "%s",\n' "$(go env GOVERSION)"
+    printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+    printf '  "benchtime": "%s",\n' "$benchtime"
+    printf '  "benchmarks": [\n'
+    awk '
+      /^Benchmark/ {
+        name = $1; sub(/-[0-9]+$/, "", name)
+        nsop = "null"; bop = "null"; allocs = "null"
+        for (i = 3; i < NF; i++) {
+          if ($(i+1) == "ns/op") nsop = $i
+          if ($(i+1) == "B/op") bop = $i
+          if ($(i+1) == "allocs/op") allocs = $i
+        }
+        if (sep != "") printf "%s\n", sep
+        printf "    {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", name, $2, nsop, bop, allocs
+        sep = ","
       }
-      if (sep != "") printf "%s\n", sep
-      printf "    {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", name, $2, nsop, bop, allocs
-      sep = ","
-    }
-    END { printf "\n" }
-  ' "$tmp"
-  printf '  ]\n}\n'
-} > "$out"
-echo "wrote $out" >&2
+      END { printf "\n" }
+    ' "$tmp"
+    printf '  ]\n}\n'
+  } > "$out"
+  echo "wrote $out" >&2
+}
+
+run_bench 'BenchmarkRoutingN5$|BenchmarkAblationNShortest|BenchmarkAblationCSC|BenchmarkControllerSlot$|BenchmarkFigure4ParallelSweep' "$routing_out"
+run_bench 'BenchmarkChurnSweep$' "$scenario_out"
