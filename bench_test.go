@@ -259,29 +259,42 @@ func BenchmarkDataFrameCodec(b *testing.B) {
 	}
 }
 
-// BenchmarkEmulationSecond measures one emulated second of a saturated
-// multipath flow on the Figure 1 network (MAC events + agents + acks).
+// BenchmarkEmulationSecond measures one emulated second of the shipped
+// flaps scenario under EMPoWER with route management — the steady-state
+// cost every §6 figure and churn experiment pays per emulated second
+// (MAC events, agents, acks, price broadcasts, scenario events). It is
+// the allocation canary of the emulation fast path: scripts/bench.sh
+// records it in BENCH_SCENARIO.json next to the end-to-end churn sweep.
 func BenchmarkEmulationSecond(b *testing.B) {
-	builder := NewNetworkBuilder(nil)
-	a := builder.AddNode("a", 0, 0, TechPLC, TechWiFi)
-	m := builder.AddNode("b", 10, 0, TechPLC, TechWiFi)
-	c := builder.AddNode("c", 20, 0, TechWiFi)
-	builder.AddDuplex(a, m, TechPLC, 10)
-	builder.AddDuplex(a, m, TechWiFi, 15)
-	builder.AddDuplex(m, c, TechWiFi, 30)
-	net := builder.Build()
-	em := NewEmulation(net, EmulationConfig{}, 7)
-	if _, err := em.AddFlow(node.FlowSpec{
-		Src: a, Dst: c,
-		Routes: FindRoutes(net, a, c, DefaultRoutingConfig()),
-		Kind:   TrafficSaturated,
-	}, 0); err != nil {
+	sc, err := scenario.Load("examples/scenarios/flaps.json")
+	if err != nil {
 		b.Fatal(err)
 	}
-	em.Run(5) // warm up past the ramp
+	var em *node.Emulation
+	var t float64
+	setup := func() {
+		net, err := sc.Topology.BuildView(stats.SplitSeed(42, 2_000_000), core.SchemeEMPoWER.View())
+		if err != nil {
+			b.Fatal(err)
+		}
+		em = NewEmulation(net, EmulationConfig{Estimation: true, ExpectedDuration: sc.Duration}, 7)
+		if _, err := scenario.Bind(em, sc, stats.SplitSeed(42, 1_000_000), scenario.Options{ManageRoutes: true}); err != nil {
+			b.Fatal(err)
+		}
+		em.Run(5) // warm up past the ramp
+		t = 5
+	}
+	setup()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		em.Run(5 + float64(i+1))
+		if t+1 > sc.Duration {
+			b.StopTimer()
+			setup()
+			b.StartTimer()
+		}
+		t++
+		em.Run(t)
 	}
 }
 

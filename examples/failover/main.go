@@ -50,12 +50,15 @@ func main() {
 		em.SetLinkCapacity(plcSD, 0)
 	})
 
-	// Report once per 5 emulated seconds.
+	// Report once per 5 emulated seconds. The per-slot rate readout uses
+	// the caller-buffer form (AppendRates) so the loop reuses one slice.
+	var rates []float64
 	for t := 5.0; t <= *duration; t += 5 {
 		em.Run(t)
 		sink := em.Agent(d).Sinks()[0]
+		rates = flow.AppendRates(rates[:0])
 		fmt.Printf("t=%4.0fs  goodput %6.2f Mbps  routes=%d  reroutes=%d  rates=%v\n",
-			t, sink.MeanRate(t-5, t), len(flow.Routes()), mgr.Reroutes, compact(flow.Rates()))
+			t, sink.MeanRate(t-5, t), len(flow.Routes()), mgr.Reroutes, compact(rates))
 	}
 	fmt.Println("\nfinal routes:")
 	for _, p := range flow.Routes() {

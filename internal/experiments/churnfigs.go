@@ -154,6 +154,7 @@ func churnReplication(sc *scenario.Scenario, scheme core.Scheme, cfg ChurnConfig
 	}
 	em := node.NewEmulation(net, node.Config{
 		Delta: cfg.Delta, DisableCC: !scheme.CC(), Estimation: true,
+		ExpectedDuration: sc.Duration,
 	}, emSeed)
 	opts := scenario.Options{
 		Routes: func(n *graph.Network, src, dst graph.NodeID) []graph.Path {

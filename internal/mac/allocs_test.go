@@ -1,0 +1,47 @@
+package mac
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// TestAllocsSteadyStatePath guards the MAC fast path: once the rings,
+// the timer pool and the engine heap are warm, a full
+// enqueue→transmit→deliver cycle performs zero heap allocations. CI runs
+// the Allocs guards as a regression gate (`go test -run Allocs ./...`).
+func TestAllocsSteadyStatePath(t *testing.T) {
+	var e sim.Engine
+	net, l1, l2, _ := twoContenders()
+	m := New(&e, net, rng(9), Options{})
+	delivered := 0
+	m.Deliver = func(l graph.LinkID, pkt Packet) { delivered++ }
+
+	// Warm up: grow the rings past any size the guard loop reaches.
+	for i := 0; i < 20; i++ {
+		m.Send(l1, 12000, nil)
+		m.Send(l2, 12000, nil)
+	}
+	e.RunUntilIdle()
+
+	if avg := testing.AllocsPerRun(500, func() {
+		m.Send(l1, 12000, nil)
+		m.Send(l2, 12000, nil)
+		e.RunUntilIdle()
+	}); avg != 0 {
+		t.Errorf("steady-state enqueue→transmit→deliver allocates %v per cycle, want 0", avg)
+	}
+	if delivered == 0 {
+		t.Fatal("guard loop delivered nothing")
+	}
+
+	// The drop paths (overflow, dead link) are equally steady-state.
+	full := New(&e, net, rng(10), Options{QueueLimit: 1})
+	full.Send(l1, 12000, nil) // fills the 1-packet queue (and starts transmitting)
+	if avg := testing.AllocsPerRun(200, func() {
+		full.Send(l1, 12000, nil) // overflow drop
+	}); avg != 0 {
+		t.Errorf("steady-state overflow drop allocates %v per packet, want 0", avg)
+	}
+}

@@ -6,6 +6,15 @@
 // (sensing is perfect), so contention manifests purely as airtime sharing,
 // exactly the abstraction the paper's model of §2 builds on.
 //
+// The steady-state packet path — enqueue, transmission start, completion,
+// delivery — performs zero heap allocations: per-link queues are ring
+// buffers of inline Packet values (they grow to the configured queue
+// limit once and are reused forever), completion timers ride the
+// engine's closure-free pooled scheduling, and packets cross the
+// Deliver/Drop callbacks by value. Callbacks therefore must not retain a
+// Packet's address; the value they receive is theirs, the queue slot it
+// came from is not.
+//
 // The package also provides a fluid approximation (FluidDelivered) used by
 // the analytic no-congestion-control baselines: it reproduces the
 // congestion-collapse behaviour of saturated multihop paths without
@@ -19,22 +28,25 @@ import (
 	"repro/internal/sim"
 )
 
-// Packet is one MAC-layer frame in flight.
+// Packet is one MAC-layer frame in flight. Packets live inline in the
+// per-link ring buffers and are handed to callbacks by value.
 type Packet struct {
 	// Bits is the frame size in bits (including layer-2.5 overhead).
 	Bits float64
-	// Payload carries upper-layer state (e.g. a wire.Frame); the MAC
+	// Payload carries upper-layer state (e.g. a wire frame); the MAC
 	// never inspects it.
 	Payload interface{}
 	// Enqueued is the virtual time the packet entered the MAC queue.
 	Enqueued float64
 }
 
-// DeliverFunc receives packets on the far end of a link.
-type DeliverFunc func(l graph.LinkID, pkt *Packet)
+// DeliverFunc receives packets on the far end of a link. The packet is
+// passed by value; the receiver owns it from here on.
+type DeliverFunc func(l graph.LinkID, pkt Packet)
 
-// DropFunc observes packets lost to queue overflow or channel errors.
-type DropFunc func(l graph.LinkID, pkt *Packet, reason string)
+// DropFunc observes packets lost to queue overflow, link death or
+// channel errors (by value, like DeliverFunc).
+type DropFunc func(l graph.LinkID, pkt Packet, reason string)
 
 // Options configures the MAC.
 type Options struct {
@@ -61,6 +73,65 @@ type LinkStats struct {
 	BusySeconds   float64
 }
 
+// ring is a FIFO of inline Packet values. It grows geometrically up to
+// the queue limit and never shrinks, so steady-state enqueue/dequeue is
+// allocation-free.
+type ring struct {
+	buf  []Packet
+	head int
+	n    int
+}
+
+func (r *ring) len() int { return r.n }
+
+func (r *ring) at(i int) *Packet { return &r.buf[(r.head+i)%len(r.buf)] }
+
+func (r *ring) push(p Packet) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = p
+	r.n++
+}
+
+func (r *ring) pop() Packet {
+	p := r.buf[r.head]
+	r.buf[r.head] = Packet{}
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return p
+}
+
+// truncate drops every packet past position keep, clearing the slots so
+// payloads don't leak through the ring's backing array.
+func (r *ring) truncate(keep int) {
+	for i := keep; i < r.n; i++ {
+		*r.at(i) = Packet{}
+	}
+	r.n = keep
+}
+
+func (r *ring) grow() {
+	next := make([]Packet, max(8, 2*len(r.buf)))
+	for i := 0; i < r.n; i++ {
+		next[i] = *r.at(i)
+	}
+	r.buf = next
+	r.head = 0
+}
+
+// completeArg binds a MAC and a link for the closure-free completion
+// timer; one per link, allocated once at New.
+type completeArg struct {
+	m *MAC
+	l graph.LinkID
+}
+
+func macComplete(arg any) {
+	a := arg.(*completeArg)
+	a.m.complete(a.l)
+}
+
 // MAC is the shared-medium scheduler. It must only be driven from the
 // owning sim.Engine's event loop (single-threaded).
 type MAC struct {
@@ -69,12 +140,17 @@ type MAC struct {
 	rng    *rand.Rand
 	opts   Options
 
-	queues       [][]*Packet
+	queues       []ring
 	transmitting []bool
 	// blocked[l] counts active transmitters in I_l; l may start only when
 	// blocked[l] == 0.
 	blocked []int
 	stats   []LinkStats
+
+	// completion[l] is the preallocated argument of link l's completion
+	// timers; shuffleScratch backs the contender shuffle in complete.
+	completion     []completeArg
+	shuffleScratch []graph.LinkID
 
 	// Deliver is invoked when a packet crosses a link (after channel-loss
 	// filtering). Drop is invoked on losses. Either may be nil.
@@ -85,21 +161,26 @@ type MAC struct {
 // New creates a MAC over the network's links.
 func New(engine *sim.Engine, net *graph.Network, rng *rand.Rand, opts Options) *MAC {
 	n := net.NumLinks()
-	return &MAC{
+	m := &MAC{
 		engine:       engine,
 		net:          net,
 		rng:          rng,
 		opts:         opts,
-		queues:       make([][]*Packet, n),
+		queues:       make([]ring, n),
 		transmitting: make([]bool, n),
 		blocked:      make([]int, n),
 		stats:        make([]LinkStats, n),
+		completion:   make([]completeArg, n),
 	}
+	for l := range m.completion {
+		m.completion[l] = completeArg{m: m, l: graph.LinkID(l)}
+	}
+	return m
 }
 
 // QueueLen returns the backlog of link l in packets (including the packet
 // currently on the air).
-func (m *MAC) QueueLen(l graph.LinkID) int { return len(m.queues[l]) }
+func (m *MAC) QueueLen(l graph.LinkID) int { return m.queues[l].len() }
 
 // Stats returns a copy of link l's counters.
 func (m *MAC) Stats(l graph.LinkID) LinkStats { return m.stats[l] }
@@ -107,20 +188,22 @@ func (m *MAC) Stats(l graph.LinkID) LinkStats { return m.stats[l] }
 // Busy reports whether link l is currently transmitting.
 func (m *MAC) Busy(l graph.LinkID) bool { return m.transmitting[l] }
 
-// Send enqueues a packet on link l. It returns false (and invokes Drop)
-// when the queue is full or the link is dead.
-func (m *MAC) Send(l graph.LinkID, pkt *Packet) bool {
+// Send enqueues a frame of the given size and payload on link l. It
+// returns false (and invokes Drop) when the queue is full or the link is
+// dead. The packet is built in place in the link's ring buffer — the
+// caller never constructs one.
+func (m *MAC) Send(l graph.LinkID, bits float64, payload interface{}) bool {
+	pkt := Packet{Bits: bits, Payload: payload, Enqueued: m.engine.Now()}
 	link := m.net.Link(l)
 	if link.Capacity <= 0 {
 		m.drop(l, pkt, "dead-link")
 		return false
 	}
-	if len(m.queues[l]) >= m.opts.queueLimit() {
+	if m.queues[l].len() >= m.opts.queueLimit() {
 		m.drop(l, pkt, "queue-overflow")
 		return false
 	}
-	pkt.Enqueued = m.engine.Now()
-	m.queues[l] = append(m.queues[l], pkt)
+	m.queues[l].push(pkt)
 	m.tryStart(l)
 	return true
 }
@@ -137,21 +220,18 @@ func (m *MAC) LinkChanged(l graph.LinkID) {
 		m.tryStart(l)
 		return
 	}
-	q := m.queues[l]
+	q := &m.queues[l]
 	keep := 0
 	if m.transmitting[l] {
 		keep = 1 // in-flight frame: complete() pops it
 	}
-	for _, pkt := range q[keep:] {
-		m.drop(l, pkt, "link-down")
+	for i := keep; i < q.len(); i++ {
+		m.drop(l, *q.at(i), "link-down")
 	}
-	for i := keep; i < len(q); i++ {
-		q[i] = nil
-	}
-	m.queues[l] = q[:keep]
+	q.truncate(keep)
 }
 
-func (m *MAC) drop(l graph.LinkID, pkt *Packet, reason string) {
+func (m *MAC) drop(l graph.LinkID, pkt Packet, reason string) {
 	m.stats[l].DroppedPkts++
 	if m.Drop != nil {
 		m.Drop(l, pkt, reason)
@@ -161,30 +241,28 @@ func (m *MAC) drop(l graph.LinkID, pkt *Packet, reason string) {
 // tryStart begins a transmission on l if it has backlog and its medium is
 // idle.
 func (m *MAC) tryStart(l graph.LinkID) {
-	if m.transmitting[l] || len(m.queues[l]) == 0 || m.blocked[l] > 0 {
+	if m.transmitting[l] || m.queues[l].len() == 0 || m.blocked[l] > 0 {
 		return
 	}
 	link := m.net.Link(l)
 	if link.Capacity <= 0 {
 		return
 	}
-	pkt := m.queues[l][0]
+	bits := m.queues[l].at(0).Bits
 	m.transmitting[l] = true
 	for _, i := range m.net.Interference(l) {
 		m.blocked[i]++
 	}
-	duration := pkt.Bits / (link.Capacity * 1e6)
+	duration := bits / (link.Capacity * 1e6)
 	m.stats[l].BusySeconds += duration
-	m.engine.Schedule(duration, func() { m.complete(l, pkt) })
+	m.engine.ScheduleFunc(duration, macComplete, &m.completion[l])
 }
 
-func (m *MAC) complete(l graph.LinkID, pkt *Packet) {
+func (m *MAC) complete(l graph.LinkID) {
 	m.transmitting[l] = false
-	// Pop the head.
-	q := m.queues[l]
-	copy(q, q[1:])
-	q[len(q)-1] = nil
-	m.queues[l] = q[:len(q)-1]
+	// Pop the frame that was on the air (LinkChanged keeps it at the
+	// head even when the link died mid-flight).
+	pkt := m.queues[l].pop()
 
 	for _, i := range m.net.Interference(l) {
 		m.blocked[i]--
@@ -212,10 +290,10 @@ func (m *MAC) complete(l graph.LinkID, pkt *Packet) {
 	// completion, in uniformly random order (perfect sensing, no
 	// back-off, no collisions).
 	cands := m.net.Interference(l)
-	order := make([]graph.LinkID, len(cands))
-	copy(order, cands)
+	order := append(m.shuffleScratch[:0], cands...)
 	m.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 	for _, c := range order {
 		m.tryStart(c)
 	}
+	m.shuffleScratch = order[:0]
 }

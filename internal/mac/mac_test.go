@@ -30,12 +30,12 @@ func TestSingleLinkThroughput(t *testing.T) {
 	net, l1, _, _ := twoContenders()
 	m := New(&e, net, rng(1), Options{})
 	delivered := 0.0
-	m.Deliver = func(l graph.LinkID, pkt *Packet) { delivered += pkt.Bits }
+	m.Deliver = func(l graph.LinkID, pkt Packet) { delivered += pkt.Bits }
 	// Saturate: inject a packet whenever the queue drains below 2.
 	pktBits := 12000.0 // 1500 B
 	refill := func() {
 		for m.QueueLen(l1) < 2 {
-			m.Send(l1, &Packet{Bits: pktBits})
+			m.Send(l1, pktBits, nil)
 		}
 	}
 	refill()
@@ -52,11 +52,11 @@ func TestInterferingLinksShareAirtime(t *testing.T) {
 	net, l1, l2, _ := twoContenders()
 	m := New(&e, net, rng(2), Options{})
 	got := map[graph.LinkID]float64{}
-	m.Deliver = func(l graph.LinkID, pkt *Packet) { got[l] += pkt.Bits }
+	m.Deliver = func(l graph.LinkID, pkt Packet) { got[l] += pkt.Bits }
 	refill := func() {
 		for _, l := range []graph.LinkID{l1, l2} {
 			for m.QueueLen(l) < 2 {
-				m.Send(l, &Packet{Bits: 12000})
+				m.Send(l, 12000, nil)
 			}
 		}
 	}
@@ -80,11 +80,11 @@ func TestNonInterferingTechsParallel(t *testing.T) {
 	net, l1, _, l3 := twoContenders()
 	m := New(&e, net, rng(3), Options{})
 	got := map[graph.LinkID]float64{}
-	m.Deliver = func(l graph.LinkID, pkt *Packet) { got[l] += pkt.Bits }
+	m.Deliver = func(l graph.LinkID, pkt Packet) { got[l] += pkt.Bits }
 	refill := func() {
 		for _, l := range []graph.LinkID{l1, l3} {
 			for m.QueueLen(l) < 2 {
-				m.Send(l, &Packet{Bits: 12000})
+				m.Send(l, 12000, nil)
 			}
 		}
 	}
@@ -105,14 +105,14 @@ func TestQueueOverflowDrops(t *testing.T) {
 	net, l1, _, _ := twoContenders()
 	m := New(&e, net, rng(4), Options{QueueLimit: 5})
 	drops := 0
-	m.Drop = func(l graph.LinkID, pkt *Packet, reason string) {
+	m.Drop = func(l graph.LinkID, pkt Packet, reason string) {
 		if reason != "queue-overflow" {
 			t.Errorf("unexpected drop reason %q", reason)
 		}
 		drops++
 	}
 	for i := 0; i < 10; i++ {
-		m.Send(l1, &Packet{Bits: 12000})
+		m.Send(l1, 12000, nil)
 	}
 	if drops != 5 {
 		t.Errorf("drops = %d, want 5", drops)
@@ -127,7 +127,7 @@ func TestDeadLinkRejects(t *testing.T) {
 	net, l1, _, _ := twoContenders()
 	net.Link(l1).Capacity = 0
 	m := New(&e, net, rng(5), Options{})
-	if m.Send(l1, &Packet{Bits: 12000}) {
+	if m.Send(l1, 12000, nil) {
 		t.Error("send on dead link should fail")
 	}
 }
@@ -139,14 +139,14 @@ func TestChannelErrors(t *testing.T) {
 	loss[l1] = 0.5
 	m := New(&e, net, rng(6), Options{LossProb: loss})
 	delivered, dropped := 0, 0
-	m.Deliver = func(l graph.LinkID, pkt *Packet) { delivered++ }
-	m.Drop = func(l graph.LinkID, pkt *Packet, reason string) {
+	m.Deliver = func(l graph.LinkID, pkt Packet) { delivered++ }
+	m.Drop = func(l graph.LinkID, pkt Packet, reason string) {
 		if reason == "channel-error" {
 			dropped++
 		}
 	}
 	for i := 0; i < 500; i++ {
-		m.Send(l1, &Packet{Bits: 12000})
+		m.Send(l1, 12000, nil)
 		e.RunUntilIdle()
 	}
 	frac := float64(dropped) / float64(delivered+dropped)
@@ -159,7 +159,7 @@ func TestBusyAndStats(t *testing.T) {
 	var e sim.Engine
 	net, l1, _, _ := twoContenders()
 	m := New(&e, net, rng(7), Options{})
-	m.Send(l1, &Packet{Bits: 1e6}) // 0.1 s on the air
+	m.Send(l1, 1e6, nil) // 0.1 s on the air
 	if !m.Busy(l1) {
 		t.Error("link should be transmitting")
 	}
@@ -241,11 +241,11 @@ func TestFluidMatchesPacketMAC(t *testing.T) {
 	var e sim.Engine
 	m := New(&e, net, rng(8), Options{})
 	got := map[graph.LinkID]float64{}
-	m.Deliver = func(l graph.LinkID, pkt *Packet) { got[l] += pkt.Bits }
+	m.Deliver = func(l graph.LinkID, pkt Packet) { got[l] += pkt.Bits }
 	// Inject at 8 Mbps on each: a 12 kb packet every 1.5 ms.
 	e.Every(0.0015, func() {
-		m.Send(l1, &Packet{Bits: 12000})
-		m.Send(l2, &Packet{Bits: 12000})
+		m.Send(l1, 12000, nil)
+		m.Send(l2, 12000, nil)
 	})
 	e.Run(20)
 	p1 := got[l1] / 20 / 1e6

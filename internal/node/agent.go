@@ -10,7 +10,8 @@ import (
 )
 
 // neighborReport is a cached price broadcast from one neighbor on one
-// technology.
+// technology. Reports live in a dense per-agent [tech][node] table;
+// heardAt < 0 marks a slot that never heard anything.
 type neighborReport struct {
 	airtime  float64
 	gammaSum float64
@@ -19,7 +20,10 @@ type neighborReport struct {
 }
 
 // Agent is the per-node EMPoWER daemon: forwarding, price accounting, and
-// the endpoints of any flows sourced at or destined to this node.
+// the endpoints of any flows sourced at or destined to this node. Its
+// per-packet state — γ duals, offered bits, neighbor reports, estimators
+// — is dense (indexed by link, technology and node), so the forwarding
+// and price paths never touch a map or allocate.
 type Agent struct {
 	id graph.NodeID
 	em *Emulation
@@ -28,20 +32,34 @@ type Agent struct {
 	// interface to this node's egress link reaching it.
 	ifaceOut map[wire.InterfaceID]graph.LinkID
 
-	// gamma is the dual variable per egress link.
-	gamma map[graph.LinkID]float64
+	// egress caches the node's egress links (the Net.Out order every
+	// iteration below follows), techs the first-seen egress technologies.
+	egress []graph.LinkID
+	techs  []graph.Tech
+
+	// gamma is the dual variable per egress link, dense by LinkID.
+	gamma []float64
 	// offeredBits accumulates bits offered to the MAC per egress link
 	// during the current price interval (airtime-demand measurement).
-	offeredBits map[graph.LinkID]float64
+	offeredBits []float64
 
 	// reports[tech][origin] caches overheard price broadcasts.
-	reports map[graph.Tech]map[graph.NodeID]*neighborReport
+	reports [][]neighborReport
 
-	// est tracks per-egress-link capacity estimators.
-	est map[graph.LinkID]*linkest.Estimator
+	// est tracks per-egress-link capacity estimators, dense by LinkID
+	// (nil for links not owned by this node).
+	est []*linkest.Estimator
 
-	// extBusy tracks carrier-sensed external airtime per technology.
-	extBusy map[graph.Tech]*externalBusy
+	// extBusy tracks carrier-sensed external airtime, dense by
+	// technology; sense[tech] is the precomputed carrier-sense set.
+	extBusy []externalBusy
+	sense   [][]graph.LinkID
+	// busyScratch accumulates per-transmitter busy airtime inside
+	// measureExternal, dense by NodeID.
+	busyScratch []float64
+
+	// priceFrame is the scratch frame priceTick broadcasts from.
+	priceFrame wire.PriceFrame
 
 	// Flow endpoints.
 	source  map[uint16]*Flow  // flows sourced here, by flow ID
@@ -63,18 +81,34 @@ func newAgent(em *Emulation, id graph.NodeID) *Agent {
 		id:          id,
 		em:          em,
 		ifaceOut:    map[wire.InterfaceID]graph.LinkID{},
-		gamma:       map[graph.LinkID]float64{},
-		offeredBits: map[graph.LinkID]float64{},
-		reports:     map[graph.Tech]map[graph.NodeID]*neighborReport{},
-		est:         map[graph.LinkID]*linkest.Estimator{},
+		gamma:       make([]float64, em.Net.NumLinks()),
+		offeredBits: make([]float64, em.Net.NumLinks()),
+		est:         make([]*linkest.Estimator, em.Net.NumLinks()),
+		reports:     make([][]neighborReport, em.numTechs),
+		extBusy:     make([]externalBusy, em.numTechs),
+		sense:       make([][]graph.LinkID, em.numTechs),
+		busyScratch: make([]float64, em.Net.NumNodes()),
 		source:      map[uint16]*Flow{},
 		sinks:       map[sinkKey]*Sink{},
 	}
-	for _, l := range em.Net.Out(id) {
+	a.egress = em.Net.Out(id)
+	seen := make([]bool, em.numTechs)
+	for _, l := range a.egress {
 		link := em.Net.Link(l)
 		a.ifaceOut[wire.HashInterface(link.To, link.Tech)] = l
-		a.gamma[l] = 0
 		a.est[l] = linkest.New(linkest.Config{})
+		if !seen[link.Tech] {
+			seen[link.Tech] = true
+			a.techs = append(a.techs, link.Tech)
+		}
+	}
+	for t := range a.reports {
+		a.reports[t] = make([]neighborReport, em.Net.NumNodes())
+		for n := range a.reports[t] {
+			a.reports[t][n].heardAt = -1
+		}
+		a.sense[t] = a.senseSet(graph.Tech(t))
+		a.extBusy[t].lastBusy = make([]float64, em.Net.NumLinks())
 	}
 	// Probe-mode estimation keeps estimates fresh on idle links.
 	if em.cfg.Estimation {
@@ -85,7 +119,9 @@ func newAgent(em *Emulation, id graph.NodeID) *Agent {
 
 func (a *Agent) est0ProbeInterval() float64 {
 	for _, e := range a.est {
-		return e.ProbeInterval()
+		if e != nil {
+			return e.ProbeInterval()
+		}
 	}
 	return 0.25
 }
@@ -96,7 +132,7 @@ func (a *Agent) est0ProbeInterval() float64 {
 // function of the seed for runs to be reproducible.
 func (a *Agent) probeTick() {
 	now := a.em.Engine.Now()
-	for _, l := range a.em.Net.Out(a.id) {
+	for _, l := range a.egress {
 		e := a.est[l]
 		if e.Mode() == linkest.ModeProbe {
 			cap := a.em.Net.Link(l).Capacity
@@ -107,8 +143,9 @@ func (a *Agent) probeTick() {
 	}
 }
 
-// sendOnLink offers an encoded frame to the MAC on egress link l,
-// recording airtime demand and feeding traffic-mode capacity estimation.
+// sendOnLink offers a frame of the given size to the MAC on egress link
+// l, recording airtime demand and feeding traffic-mode capacity
+// estimation.
 func (a *Agent) sendOnLink(l graph.LinkID, bits float64, payload interface{}) bool {
 	a.offeredBits[l] += bits
 	if est := a.est[l]; est != nil && a.em.cfg.Estimation {
@@ -118,42 +155,48 @@ func (a *Agent) sendOnLink(l graph.LinkID, bits float64, payload interface{}) bo
 			est.Observe(est.Sample(cap, a.em.rng), a.em.Engine.Now())
 		}
 	}
-	return a.em.MAC.Send(l, &mac.Packet{Bits: bits, Payload: payload})
+	return a.em.MAC.Send(l, bits, payload)
 }
 
 // receive handles a MAC delivery on ingress link l.
-func (a *Agent) receive(l graph.LinkID, pkt *mac.Packet) {
+func (a *Agent) receive(l graph.LinkID, pkt mac.Packet) {
 	switch f := pkt.Payload.(type) {
-	case *wire.DataFrame:
+	case *dataPkt:
 		a.onData(f)
 	case *ackHop:
 		// Acknowledgement in transit on its reverse path: forward the
 		// next hop (or hand to the flow source at the end of the path).
 		f.sink.forwardAck(f.ack, f.path, f.hop+1)
+		a.em.freeAckHop(f)
 	default:
 		// Unknown payloads are dropped silently (future frame types).
 	}
 }
 
-// onData implements the Check-Dst / Fwd pipeline of Figure 2.
-func (a *Agent) onData(f *wire.DataFrame) {
+// onData implements the Check-Dst / Fwd pipeline of Figure 2. It owns
+// the pooled frame: consumption and drops free it, a forward hands it to
+// the MAC (whose Drop callback frees it on failure).
+func (a *Agent) onData(p *dataPkt) {
+	f := &p.frame
 	if f.Dst == a.id {
 		a.Consumed++
-		a.sinkFor(f.Src, f.FlowID).onData(f)
+		a.sinkFor(f.Src, f.FlowID).onData(p)
 		return
 	}
 	// Forward to the next hop.
 	f.Hop++
 	if int(f.Hop) >= f.Header.RouteLen() {
+		a.em.freePkt(p)
 		return // malformed route; drop
 	}
 	next, ok := a.ifaceOut[f.Header.Route[f.Hop]]
 	if !ok {
+		a.em.freePkt(p)
 		return // we are not on this route; drop
 	}
 	a.addPrice(next, &f.Header)
 	a.Forwarded++
-	a.sendOnLink(next, frameBits(f), f)
+	a.sendOnLink(next, frameBits(f), p)
 }
 
 // addPrice adds d_l · Σ_{i∈I_l} γ_i to the header's q_r field (§4.2).
@@ -166,36 +209,51 @@ func (a *Agent) addPrice(l graph.LinkID, h *wire.Header) {
 // reported by neighbors on that technology.
 func (a *Agent) priceTerm(l graph.LinkID) float64 {
 	tech := a.em.Net.Link(l).Tech
-	gsum := a.ownGammaSum(tech)
-	a.freshReports(tech, a.em.Engine.Now(), func(rep *neighborReport) {
-		gsum += rep.gammaSum
-	})
+	gsum := a.ownGammaSum(tech) + a.freshGammaSum(tech, a.em.Engine.Now())
 	return a.em.dEstimate(l) * gsum
 }
 
-// freshReports visits the technology's unexpired neighbor reports in
-// ascending node order. Reports live in a map, and several callers
-// accumulate floats over them — iteration order must be reproducible
-// for runs to be seed-deterministic.
-func (a *Agent) freshReports(tech graph.Tech, now float64, fn func(*neighborReport)) {
-	reps := a.reports[tech]
-	ids := make([]int, 0, len(reps))
-	for n := range reps {
-		ids = append(ids, int(n))
+// freshGammaSum accumulates the unexpired neighbor reports' γ sums in
+// ascending node order. Float addition is not associative, so the order
+// must be reproducible for runs to be seed-deterministic; the dense
+// table gives ascending order for free. This runs per forwarded packet —
+// a plain loop, no callback, no allocation.
+func (a *Agent) freshGammaSum(tech graph.Tech, now float64) float64 {
+	if int(tech) >= len(a.reports) {
+		return 0
 	}
-	sort.Ints(ids)
-	for _, n := range ids {
-		if rep := reps[graph.NodeID(n)]; now-rep.heardAt <= a.em.cfg.reportStale() {
-			fn(rep)
+	var s float64
+	stale := a.em.cfg.reportStale()
+	reps := a.reports[tech]
+	for n := range reps {
+		if rep := &reps[n]; rep.heardAt >= 0 && now-rep.heardAt <= stale {
+			s += rep.gammaSum
 		}
 	}
+	return s
+}
+
+// freshAirtimeSum is freshGammaSum for the reports' airtime claims.
+func (a *Agent) freshAirtimeSum(tech graph.Tech, now float64) float64 {
+	if int(tech) >= len(a.reports) {
+		return 0
+	}
+	var s float64
+	stale := a.em.cfg.reportStale()
+	reps := a.reports[tech]
+	for n := range reps {
+		if rep := &reps[n]; rep.heardAt >= 0 && now-rep.heardAt <= stale {
+			s += rep.airtime
+		}
+	}
+	return s
 }
 
 func (a *Agent) ownGammaSum(tech graph.Tech) float64 {
 	var s float64
-	for l, g := range a.gamma {
+	for _, l := range a.egress {
 		if a.em.Net.Link(l).Tech == tech {
-			s += g
+			s += a.gamma[l]
 		}
 	}
 	return s
@@ -205,14 +263,14 @@ func (a *Agent) ownGammaSum(tech graph.Tech) float64 {
 // over the last price interval.
 func (a *Agent) ownAirtime(tech graph.Tech) float64 {
 	var s float64
-	for l, bits := range a.offeredBits {
+	for _, l := range a.egress {
 		if a.em.Net.Link(l).Tech != tech {
 			continue
 		}
 		c := a.em.linkEstimate(l)
 		if c > 0 {
 			// bits per interval -> Mbps -> airtime fraction.
-			rate := bits / a.em.cfg.priceInterval() / 1e6
+			rate := a.offeredBits[l] / a.em.cfg.priceInterval() / 1e6
 			s += rate / c
 		}
 	}
@@ -225,26 +283,16 @@ func (a *Agent) ownAirtime(tech graph.Tech) float64 {
 func (a *Agent) priceTick() {
 	now := a.em.Engine.Now()
 	limit := 1 - a.effectiveDelta()
-	// Technologies in first-seen egress order (not map order): the
-	// per-tech price broadcasts schedule engine events, so their order
-	// must be reproducible.
-	var techs []graph.Tech
-	seen := map[graph.Tech]bool{}
-	for _, l := range a.em.Net.Out(a.id) {
-		if tech := a.em.Net.Link(l).Tech; !seen[tech] {
-			seen[tech] = true
-			techs = append(techs, tech)
-		}
-	}
-	for _, tech := range techs {
+	// Technologies in first-seen egress order (precomputed at
+	// construction): the per-tech price broadcasts schedule engine
+	// events, so their order must be reproducible.
+	for _, tech := range a.techs {
 		// y for this node's links of `tech`: own demand + fresh reports +
 		// carrier-sensed external airtime (§4.3).
 		y := a.ownAirtime(tech)
-		a.freshReports(tech, now, func(rep *neighborReport) {
-			y += rep.airtime
-		})
+		y += a.freshAirtimeSum(tech, now)
 		y += a.measureExternal(tech)
-		for _, l := range a.em.Net.Out(a.id) {
+		for _, l := range a.egress {
 			if a.em.Net.Link(l).Tech != tech {
 				continue
 			}
@@ -254,24 +302,25 @@ func (a *Agent) priceTick() {
 			}
 			a.gamma[l] = g
 		}
-		a.em.broadcastPrice(a.id, &wire.PriceFrame{
+		a.priceFrame = wire.PriceFrame{
 			Origin:     a.id,
 			Tech:       tech,
 			Airtime:    a.ownAirtime(tech),
 			GammaSum:   a.ownGammaSum(tech),
 			TCPPresent: a.tcpSeen,
-		})
+		}
+		a.em.broadcastPrice(a.id, &a.priceFrame)
 	}
 	// Idle egress links fall back to probe-mode estimation (checked
 	// before the counters reset).
 	if a.em.cfg.Estimation {
-		for l, est := range a.est {
-			if a.offeredBits[l] == 0 && est.Mode() == linkest.ModeTraffic {
+		for _, l := range a.egress {
+			if est := a.est[l]; a.offeredBits[l] == 0 && est.Mode() == linkest.ModeTraffic {
 				est.SetMode(linkest.ModeProbe)
 			}
 		}
 	}
-	for l := range a.offeredBits {
+	for _, l := range a.egress {
 		a.offeredBits[l] = 0
 	}
 }
@@ -291,17 +340,14 @@ const tcpDelta = 0.3
 
 // onPrice caches a neighbor's broadcast.
 func (a *Agent) onPrice(f *wire.PriceFrame) {
-	m := a.reports[f.Tech]
-	if m == nil {
-		m = map[graph.NodeID]*neighborReport{}
-		a.reports[f.Tech] = m
+	if int(f.Tech) >= len(a.reports) || int(f.Origin) >= len(a.reports[f.Tech]) {
+		return // technology or node outside this network; ignore
 	}
-	m[f.Origin] = &neighborReport{
-		airtime:  f.Airtime,
-		gammaSum: f.GammaSum,
-		tcp:      f.TCPPresent,
-		heardAt:  a.em.Engine.Now(),
-	}
+	rep := &a.reports[f.Tech][f.Origin]
+	rep.airtime = f.Airtime
+	rep.gammaSum = f.GammaSum
+	rep.tcp = f.TCPPresent
+	rep.heardAt = a.em.Engine.Now()
 	if f.TCPPresent {
 		a.tcpSeen = true
 	}

@@ -18,6 +18,13 @@
 //     with probability proportional to x_r, and the rates follow the
 //     proximal update of §4.3 driven by acknowledged prices, with the α
 //     step-size heuristic of §6.1.
+//
+// The steady-state packet path is allocation-free: data frames, ack
+// frames, ack forwarding hops, price deliveries and delay-equalization
+// holds all come from per-emulation free lists and return to them when
+// consumed. The ownership rule is strict — whoever takes a pooled object
+// off the MAC or the engine either hands it on or frees it, and nobody
+// holds a pooled pointer across events after freeing it.
 package node
 
 import (
@@ -69,6 +76,10 @@ type Config struct {
 	// linkest) instead of oracle capacities for the price terms
 	// (default true in testbed experiments; tests may disable it).
 	Estimation bool
+	// ExpectedDuration, when positive, presizes per-flow and per-sink
+	// rate logs for a run of this many emulated seconds (callers that
+	// know the scenario duration set it; zero means grow on demand).
+	ExpectedDuration float64
 }
 
 func (c Config) ackInterval() float64 {
@@ -134,6 +145,17 @@ func (c Config) initialRate() float64 {
 	return c.InitialRate
 }
 
+// dataPkt is the pooled in-flight form of a data frame: the wire frame
+// plus the opaque transport metadata that, on the real testbed, rides in
+// the Ethernet encapsulation. It is owned by exactly one holder at a
+// time (a flow building it, a MAC queue, an agent forwarding it, a sink
+// consuming it) and returns to the emulation's free list when consumed
+// or dropped.
+type dataPkt struct {
+	frame wire.DataFrame
+	meta  interface{}
+}
+
 // Emulation owns the engine, the MAC, and one Agent per network node.
 type Emulation struct {
 	Engine *sim.Engine
@@ -144,31 +166,96 @@ type Emulation struct {
 	cfg   Config
 	rng   *rand.Rand
 	flows []*Flow
-	// meta carries opaque payload metadata next to in-flight frames.
-	// Frames are short-lived; entries are removed on consumption. The
-	// table is per-emulation so independent emulations can run on
-	// parallel runner workers without sharing any mutable state.
-	meta map[*wire.DataFrame]interface{}
+
+	// numTechs bounds the dense per-technology agent state.
+	numTechs int
+
+	// Free lists for the steady-state packet path. All are LIFO stacks;
+	// see the package comment for the ownership rule.
+	pktFree   []*dataPkt
+	ackFree   []*wire.AckFrame
+	hopFree   []*ackHop
+	priceFree []*priceDelivery
+	holdFree  []*heldFrame
+
+	// priceBuf is the scratch encode buffer of broadcastPrice.
+	priceBuf []byte
 }
 
-// stashMeta attaches transport metadata to an in-flight frame.
-func (e *Emulation) stashMeta(df *wire.DataFrame, meta interface{}) {
-	if meta != nil {
-		e.meta[df] = meta
+func (e *Emulation) newPkt() *dataPkt {
+	if n := len(e.pktFree); n > 0 {
+		p := e.pktFree[n-1]
+		e.pktFree = e.pktFree[:n-1]
+		return p
 	}
+	return &dataPkt{}
 }
 
-// takeMeta consumes a frame's metadata entry on delivery.
-func (e *Emulation) takeMeta(df *wire.DataFrame) interface{} {
-	m, ok := e.meta[df]
-	if ok {
-		delete(e.meta, df)
+// freePkt returns a consumed or dropped frame to the pool. The frame is
+// cleared here so a reused slot never leaks a stale q_r, route or
+// sequence number into the next packet.
+func (e *Emulation) freePkt(p *dataPkt) {
+	p.frame = wire.DataFrame{}
+	p.meta = nil
+	e.pktFree = append(e.pktFree, p)
+}
+
+func (e *Emulation) newAck() *wire.AckFrame {
+	if n := len(e.ackFree); n > 0 {
+		a := e.ackFree[n-1]
+		e.ackFree = e.ackFree[:n-1]
+		return a
 	}
-	return m
+	return &wire.AckFrame{}
 }
 
-// dropMeta releases a dropped frame's metadata entry.
-func (e *Emulation) dropMeta(df *wire.DataFrame) { delete(e.meta, df) }
+func (e *Emulation) freeAck(a *wire.AckFrame) {
+	routes := a.Routes[:0] // keep the backing array
+	*a = wire.AckFrame{Routes: routes}
+	e.ackFree = append(e.ackFree, a)
+}
+
+func (e *Emulation) newAckHop() *ackHop {
+	if n := len(e.hopFree); n > 0 {
+		h := e.hopFree[n-1]
+		e.hopFree = e.hopFree[:n-1]
+		return h
+	}
+	return &ackHop{}
+}
+
+func (e *Emulation) freeAckHop(h *ackHop) {
+	*h = ackHop{}
+	e.hopFree = append(e.hopFree, h)
+}
+
+func (e *Emulation) newPriceDelivery() *priceDelivery {
+	if n := len(e.priceFree); n > 0 {
+		pd := e.priceFree[n-1]
+		e.priceFree = e.priceFree[:n-1]
+		return pd
+	}
+	return &priceDelivery{}
+}
+
+func (e *Emulation) freePriceDelivery(pd *priceDelivery) {
+	pd.agent = nil
+	e.priceFree = append(e.priceFree, pd)
+}
+
+func (e *Emulation) newHeldFrame() *heldFrame {
+	if n := len(e.holdFree); n > 0 {
+		h := e.holdFree[n-1]
+		e.holdFree = e.holdFree[:n-1]
+		return h
+	}
+	return &heldFrame{}
+}
+
+func (e *Emulation) freeHeldFrame(h *heldFrame) {
+	*h = heldFrame{}
+	e.holdFree = append(e.holdFree, h)
+}
 
 // NewEmulation builds the emulated network.
 func NewEmulation(net *graph.Network, cfg Config, seed int64) *Emulation {
@@ -177,17 +264,23 @@ func NewEmulation(net *graph.Network, cfg Config, seed int64) *Emulation {
 		Net:    net,
 		cfg:    cfg,
 		rng:    rand.New(rand.NewSource(seed)),
-		meta:   map[*wire.DataFrame]interface{}{},
+	}
+	e.numTechs = 1
+	for l := 0; l < net.NumLinks(); l++ {
+		if t := int(net.Link(graph.LinkID(l)).Tech); t+1 > e.numTechs {
+			e.numTechs = t + 1
+		}
+	}
+	for i := 0; i < net.NumNodes(); i++ {
+		for _, t := range net.Node(graph.NodeID(i)).Techs {
+			if int(t)+1 > e.numTechs {
+				e.numTechs = int(t) + 1
+			}
+		}
 	}
 	e.MAC = mac.New(e.Engine, net, e.rng, mac.Options{QueueLimit: cfg.queueLimit()})
 	e.MAC.Deliver = e.deliver
-	e.MAC.Drop = func(_ graph.LinkID, pkt *mac.Packet, _ string) {
-		// Release transport metadata attached to frames the MAC dropped
-		// (delivered frames release it at the sink).
-		if df, ok := pkt.Payload.(*wire.DataFrame); ok {
-			e.dropMeta(df)
-		}
-	}
+	e.MAC.Drop = e.macDrop
 	e.Agents = make([]*Agent, net.NumNodes())
 	for i := range e.Agents {
 		e.Agents[i] = newAgent(e, graph.NodeID(i))
@@ -212,9 +305,21 @@ func (e *Emulation) Flows() []*Flow { return e.flows }
 func (e *Emulation) Agent(id graph.NodeID) *Agent { return e.Agents[id] }
 
 // deliver dispatches MAC deliveries to the receiving agent.
-func (e *Emulation) deliver(l graph.LinkID, pkt *mac.Packet) {
+func (e *Emulation) deliver(l graph.LinkID, pkt mac.Packet) {
 	to := e.Net.Link(l).To
 	e.Agents[to].receive(l, pkt)
+}
+
+// macDrop releases the pooled state of frames the MAC dropped (delivered
+// frames release it at their consumer).
+func (e *Emulation) macDrop(_ graph.LinkID, pkt mac.Packet, _ string) {
+	switch p := pkt.Payload.(type) {
+	case *dataPkt:
+		e.freePkt(p)
+	case *ackHop:
+		e.freeAck(p.ack)
+		e.freeAckHop(p)
+	}
 }
 
 // Run advances the emulation to absolute virtual time t (seconds).
@@ -256,12 +361,29 @@ func (e *Emulation) SetLinkCapacity(l graph.LinkID, c float64) {
 	}
 }
 
+// priceDelivery is the pooled in-flight form of a price broadcast: the
+// decoded frame plus its receiver, scheduled through the closure-free
+// engine path.
+type priceDelivery struct {
+	agent *Agent
+	frame wire.PriceFrame
+}
+
+func deliverPrice(arg any) {
+	pd := arg.(*priceDelivery)
+	em := pd.agent.em
+	pd.agent.onPrice(&pd.frame)
+	em.freePriceDelivery(pd)
+}
+
 // broadcastPrice delivers a price frame to every node sharing technology
 // k within interference range of the origin. Price frames are modeled on
 // the control plane (no airtime): the paper reports their overhead as
-// negligible ("a small communication-overhead among the nodes").
+// negligible ("a small communication-overhead among the nodes"). The
+// frame round-trips through its wire encoding in a retained scratch
+// buffer, and each delivery rides a pooled priceDelivery.
 func (e *Emulation) broadcastPrice(from graph.NodeID, f *wire.PriceFrame) {
-	buf := f.MarshalBinary()
+	e.priceBuf = f.AppendBinary(e.priceBuf[:0])
 	for _, a := range e.Agents {
 		if a.id == from {
 			continue
@@ -272,12 +394,12 @@ func (e *Emulation) broadcastPrice(from graph.NodeID, f *wire.PriceFrame) {
 		if !e.inEarshot(from, a.id, f.Tech) {
 			continue
 		}
-		var g wire.PriceFrame
-		if err := g.UnmarshalBinary(buf); err != nil {
+		pd := e.newPriceDelivery()
+		if err := pd.frame.UnmarshalBinary(e.priceBuf); err != nil {
 			panic(fmt.Sprintf("node: price frame round-trip: %v", err))
 		}
-		agent := a
-		e.Engine.Schedule(1e-4, func() { agent.onPrice(&g) })
+		pd.agent = a
+		e.Engine.ScheduleFunc(1e-4, deliverPrice, pd)
 	}
 }
 

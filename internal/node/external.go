@@ -1,10 +1,7 @@
 package node
 
 import (
-	"sort"
-
 	"repro/internal/graph"
-	"repro/internal/mac"
 )
 
 // ExternalSource is a non-EMPoWER station transmitting on a link: it
@@ -26,12 +23,14 @@ type ExternalSource struct {
 }
 
 // AddExternalSource starts a constant-rate external transmitter on the
-// given link (payload 1500 B frames at rate Mbps).
+// given link (payload 1500 B frames at rate Mbps). The source itself is
+// the MAC payload — agents ignore payloads they don't recognize, exactly
+// how EMPoWER nodes treat foreign traffic.
 func (e *Emulation) AddExternalSource(l graph.LinkID, rate float64) *ExternalSource {
 	s := &ExternalSource{em: e, link: l, rate: rate, bits: 1500 * 8}
 	gap := s.bits / (rate * 1e6)
 	s.periodic = e.Engine.Every(gap, func() {
-		e.MAC.Send(l, &mac.Packet{Bits: s.bits, Payload: externalFrame{src: s}})
+		e.MAC.Send(l, s.bits, s)
 	})
 	return s
 }
@@ -42,24 +41,23 @@ func (s *ExternalSource) Stop() { s.periodic.Stop() }
 // Rate returns the configured sending rate (Mbps).
 func (s *ExternalSource) Rate() float64 { return s.rate }
 
-// externalFrame marks a non-EMPoWER MAC payload; agents count its
-// delivery for measurements but otherwise ignore it.
-type externalFrame struct{ src *ExternalSource }
-
 // externalBusy tracks carrier-sensed airtime for one agent and
 // technology. Busy time is attributed to the transmitting node (WiFi and
 // PLC frame headers identify the transmitter); the slice of a node's
 // busy time that exceeds what its price broadcast claims — or, for this
 // agent itself, what it offered to the MAC — is external traffic.
 type externalBusy struct {
-	lastBusy map[graph.LinkID]float64
+	// lastBusy is the previous BusySeconds reading per sensed link,
+	// dense by LinkID.
+	lastBusy []float64
 	// ewma smooths the measured external airtime.
 	ewma float64
 }
 
 // senseSet returns the links of technology tech whose transmissions the
 // agent can sense: everything interfering with one of its egress links of
-// that technology.
+// that technology. Precomputed per technology at agent construction (the
+// interference sets are static).
 func (a *Agent) senseSet(tech graph.Tech) []graph.LinkID {
 	seen := map[graph.LinkID]bool{}
 	var out []graph.LinkID
@@ -82,48 +80,43 @@ func (a *Agent) senseSet(tech graph.Tech) []graph.LinkID {
 // slice is compared against the EMPoWER airtime that transmitter claims
 // (its overheard price broadcast, or this agent's own offered demand).
 // Unclaimed busy time is external traffic and enters y_l per §4.3.
+//
+// The accumulation runs over dense per-node scratch in ascending node
+// order: float addition is not associative, so map-order iteration would
+// make runs diverge in the low bits and compound through the price
+// feedback loop.
 func (a *Agent) measureExternal(tech graph.Tech) float64 {
-	if a.extBusy == nil {
-		a.extBusy = map[graph.Tech]*externalBusy{}
-	}
-	eb := a.extBusy[tech]
-	if eb == nil {
-		eb = &externalBusy{lastBusy: map[graph.LinkID]float64{}}
-		a.extBusy[tech] = eb
-	}
+	eb := &a.extBusy[tech]
 	interval := a.em.cfg.priceInterval()
 	now := a.em.Engine.Now()
 
 	// Busy airtime per transmitting node over the last interval.
-	busyByNode := map[graph.NodeID]float64{}
-	for _, l := range a.senseSet(tech) {
+	busy := a.busyScratch
+	for i := range busy {
+		busy[i] = 0
+	}
+	for _, l := range a.sense[tech] {
 		cur := a.em.MAC.Stats(l).BusySeconds
 		delta := cur - eb.lastBusy[l]
 		eb.lastBusy[l] = cur
 		if delta > 0 {
-			busyByNode[a.em.Net.Link(l).From] += delta / interval
+			busy[a.em.Net.Link(l).From] += delta / interval
 		}
 	}
-	// Accumulate in ascending node order: float addition is not
-	// associative, so map-order iteration would make runs diverge in
-	// the low bits and compound through the price feedback loop.
-	nodes := make([]int, 0, len(busyByNode))
-	for n := range busyByNode {
-		nodes = append(nodes, int(n))
-	}
-	sort.Ints(nodes)
 	var external float64
-	for _, ni := range nodes {
+	for ni := range busy {
+		if busy[ni] == 0 {
+			continue
+		}
 		n := graph.NodeID(ni)
-		busy := busyByNode[n]
 		var claimed float64
 		if n == a.id {
 			claimed = a.ownAirtime(tech)
-		} else if rep := a.reports[tech][n]; rep != nil && now-rep.heardAt <= a.em.cfg.reportStale() {
+		} else if rep := &a.reports[tech][n]; rep.heardAt >= 0 && now-rep.heardAt <= a.em.cfg.reportStale() {
 			claimed = rep.airtime
 		}
-		if busy > claimed {
-			external += busy - claimed
+		if busy[ni] > claimed {
+			external += busy[ni] - claimed
 		}
 	}
 	const gain = 0.3

@@ -8,6 +8,7 @@ import (
 	"repro/internal/congestion"
 	"repro/internal/graph"
 	"repro/internal/routing"
+	"repro/internal/sim"
 	"repro/internal/wire"
 )
 
@@ -69,7 +70,7 @@ type Flow struct {
 	tokens     float64
 	lastRefil  float64
 	shapeQ     []shapedPkt
-	drainTimer interface{ Cancel() }
+	drainTimer sim.TimerRef
 
 	seq      uint32
 	sentBits float64
@@ -80,7 +81,7 @@ type Flow struct {
 	sentPayload    int64
 	confirmedBytes int64
 	active         bool
-	sendTimer      interface{ Cancel() }
+	sendTimer      sim.TimerRef
 
 	// RouteSentBits tracks per-route injected bits (Figure 9's
 	// "rate sent on Route i" series).
@@ -134,9 +135,9 @@ func (e *Emulation) AddFlow(spec FlowSpec, startAt float64) (*Flow, error) {
 	f.RouteSentBits = make([]float64, n)
 	f.routeLogs = make([]*seriesLog, n)
 	for i := range f.routeLogs {
-		f.routeLogs[i] = newSeriesLog()
+		f.routeLogs[i] = newSeriesLog(e.cfg.ExpectedDuration)
 	}
-	f.rateLog = newSeriesLog()
+	f.rateLog = newSeriesLog(e.cfg.ExpectedDuration)
 	f.seedRates()
 	f.tuner = congestion.NewAlphaTuner(e.cfg.flowAlphaBase(), n, longest)
 	e.flows = append(e.flows, f)
@@ -144,9 +145,11 @@ func (e *Emulation) AddFlow(spec FlowSpec, startAt float64) (*Flow, error) {
 	if spec.TCP {
 		f.agent.tcpSeen = true
 	}
-	e.Engine.At(startAt, f.start)
+	e.Engine.AtFunc(startAt, flowStart, f)
 	return f, nil
 }
+
+func flowStart(arg any) { arg.(*Flow).start() }
 
 func (f *Flow) start() {
 	f.active = true
@@ -157,13 +160,17 @@ func (f *Flow) start() {
 // Stop halts the flow's traffic.
 func (f *Flow) Stop() {
 	f.active = false
-	if f.sendTimer != nil {
-		f.sendTimer.Cancel()
-	}
+	f.sendTimer.Cancel()
 }
 
-// Rates returns the current per-route congestion-control rates (Mbps).
+// Rates returns a copy of the current per-route congestion-control rates
+// (Mbps). Per-slot callers use AppendRates to avoid the allocation.
 func (f *Flow) Rates() []float64 { return append([]float64(nil), f.x...) }
+
+// AppendRates appends the current per-route rates (Mbps) to dst and
+// returns it — the caller-buffer form of Rates for hot paths that read
+// the rates every slot.
+func (f *Flow) AppendRates(dst []float64) []float64 { return append(dst, f.x...) }
 
 // TotalRate returns Σ_r x_r (Mbps).
 func (f *Flow) TotalRate() float64 {
@@ -193,6 +200,13 @@ func (f *Flow) fileSendable() bool {
 	return f.confirmedBytes < f.spec.FileBytes
 }
 
+// flowSendTick is the closure-free body of the per-packet send timer.
+func flowSendTick(arg any) {
+	f := arg.(*Flow)
+	f.emitOne()
+	f.scheduleNext()
+}
+
 // scheduleNext arms the next packet transmission for self-clocked
 // sources.
 func (f *Flow) scheduleNext() {
@@ -216,10 +230,7 @@ func (f *Flow) scheduleNext() {
 		}
 		gap = pktBits / rate
 	}
-	f.sendTimer = f.em.Engine.Schedule(gap, func() {
-		f.emitOne()
-		f.scheduleNext()
-	})
+	f.sendTimer = f.em.Engine.ScheduleFunc(gap, flowSendTick, f)
 }
 
 // emitOne sends one packet (or tops up queues in w/o-CC mode).
@@ -308,7 +319,7 @@ func (f *Flow) Push(payloadBytes int, meta interface{}) error {
 // armDrain schedules the shaping queue to drain when enough tokens have
 // accumulated for its head packet.
 func (f *Flow) armDrain() {
-	if f.drainTimer != nil || len(f.shapeQ) == 0 {
+	if f.drainTimer.Active() || len(f.shapeQ) == 0 {
 		return
 	}
 	need := float64(f.shapeQ[0].bytes) * 8
@@ -322,11 +333,13 @@ func (f *Flow) armDrain() {
 	if wait < 1e-4 {
 		wait = 1e-4
 	}
-	f.drainTimer = f.em.Engine.Schedule(wait, f.drainShaped)
+	f.drainTimer = f.em.Engine.ScheduleFunc(wait, flowDrain, f)
 }
 
+func flowDrain(arg any) { arg.(*Flow).drainShaped() }
+
 func (f *Flow) drainShaped() {
-	f.drainTimer = nil
+	f.drainTimer = sim.TimerRef{}
 	if !f.active {
 		f.shapeQ = nil
 		return
@@ -363,30 +376,30 @@ func (f *Flow) refillTokens() {
 	}
 }
 
-// sendPacket builds and transmits one data frame on route r.
+// sendPacket builds one data frame on route r in a pooled packet and
+// offers it to the MAC. The pool owns the frame from the moment it is
+// handed to sendOnLink: a failed send already released it through the
+// MAC's drop callback.
 func (f *Flow) sendPacket(r int, payloadBytes int, meta interface{}) {
-	df := &wire.DataFrame{
-		Src:        f.Src,
-		Dst:        f.Dst,
-		FlowID:     f.ID,
-		RouteIdx:   uint8(r),
-		Hop:        0,
-		SentAt:     f.em.Engine.Now(),
-		PayloadLen: uint16(payloadBytes),
-	}
+	p := f.em.newPkt()
+	df := &p.frame
+	df.Src = f.Src
+	df.Dst = f.Dst
+	df.FlowID = f.ID
+	df.RouteIdx = uint8(r)
+	df.Hop = 0
+	df.SentAt = f.em.Engine.Now()
+	df.PayloadLen = uint16(payloadBytes)
 	df.Header.Seq = f.seq
 	f.seq++
 	if err := df.Header.SetRoute(f.ifaceIDs[r]); err != nil {
 		panic(err) // routes validated at AddFlow
 	}
-	if meta != nil {
-		df.SentAt = f.em.Engine.Now()
-	}
-	f.metaStash(df, meta)
+	p.meta = meta
 	first := f.firstLink[r]
 	f.agent.addPrice(first, &df.Header)
 	bits := frameBits(df)
-	if f.agent.sendOnLink(first, bits, df) {
+	if f.agent.sendOnLink(first, bits, p) {
 		f.sentBits += bits
 		f.sentPayload += int64(payloadBytes)
 		f.RouteSentBits[r] += bits
@@ -410,12 +423,6 @@ func (f *Flow) seedRates() {
 		f.x[i] = x
 		f.xbar[i] = x
 	}
-}
-
-// metaStash attaches transport metadata to the frame (carried out of band
-// of the binary encoding, as payload contents).
-func (f *Flow) metaStash(df *wire.DataFrame, meta interface{}) {
-	f.em.stashMeta(df, meta)
 }
 
 // onAck applies the §4.3 proximal update per acknowledged route and
@@ -470,42 +477,4 @@ func (f *Flow) SentRateSeries(binSeconds float64) ([]float64, []float64) {
 // RouteRateSeries returns the per-route injected rate series.
 func (f *Flow) RouteRateSeries(r int, binSeconds float64) ([]float64, []float64) {
 	return f.routeLogs[r].series(binSeconds)
-}
-
-// seriesLog accumulates (time, bits) points for rate series.
-type seriesLog struct {
-	times []float64
-	bits  []float64
-}
-
-func newSeriesLog() *seriesLog { return &seriesLog{} }
-
-func (s *seriesLog) add(t, b float64) {
-	s.times = append(s.times, t)
-	s.bits = append(s.bits, b)
-}
-
-// series bins the log into rates: returns bin midpoints (s) and rates
-// (Mbps).
-func (s *seriesLog) series(bin float64) ([]float64, []float64) {
-	if len(s.times) == 0 || bin <= 0 {
-		return nil, nil
-	}
-	end := s.times[len(s.times)-1]
-	n := int(end/bin) + 1
-	sums := make([]float64, n)
-	for i, t := range s.times {
-		idx := int(t / bin)
-		if idx >= n {
-			idx = n - 1
-		}
-		sums[idx] += s.bits[i]
-	}
-	ts := make([]float64, n)
-	rates := make([]float64, n)
-	for i := range sums {
-		ts[i] = (float64(i) + 0.5) * bin
-		rates[i] = sums[i] / bin / 1e6
-	}
-	return ts, rates
 }

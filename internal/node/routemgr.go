@@ -252,7 +252,7 @@ func (f *Flow) setRoutesOn(view *graph.Network, routes []graph.Path) error {
 	f.RouteSentBits = make([]float64, n)
 	f.routeLogs = make([]*seriesLog, n)
 	for i := range f.routeLogs {
-		f.routeLogs[i] = newSeriesLog()
+		f.routeLogs[i] = newSeriesLog(f.em.cfg.ExpectedDuration)
 	}
 	// Warm-start the rates from the estimated network — the link state
 	// the source actually knows — like seedRates does at flow creation

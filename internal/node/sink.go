@@ -1,8 +1,6 @@
 package node
 
 import (
-	"sort"
-
 	"repro/internal/graph"
 	"repro/internal/routing"
 	"repro/internal/wire"
@@ -13,29 +11,38 @@ import (
 // transport metadata attached by Flow.Push).
 type DeliverFunc func(seq uint32, payloadBytes int, meta interface{})
 
+// routeState is the per-route receive state, dense by RouteIdx.
+type routeState struct {
+	seen      bool
+	qr        float64
+	maxSeq    uint32
+	delivered uint32 // payload bytes since last ack
+	lastSeen  float64
+	// Delay equalization (§6.4).
+	delayEWMA float64
+	hasDelay  bool
+}
+
 // Sink is the destination-side state of one flow: per-route price and
 // sequence tracking, the reordering buffer, loss detection, delay
-// equalization, and acknowledgement generation.
+// equalization, and acknowledgement generation. The per-packet path is
+// allocation-free: route state is dense, the reorder buffer holds plain
+// values, and the frames themselves return to the emulation's pool the
+// moment their fields are extracted.
 type Sink struct {
 	agent  *Agent
 	src    graph.NodeID
 	flowID uint16
 
-	// Per-route state, indexed by RouteIdx.
-	qr        map[uint8]float64
-	maxSeq    map[uint8]uint32
-	delivered map[uint8]uint32 // payload bytes since last ack
-	seenRoute map[uint8]bool
-	lastSeen  map[uint8]float64 // last delivery time per route
+	// routes is the per-route state, indexed by RouteIdx (grown on
+	// first sight of a route).
+	routes []routeState
 
 	// Reordering.
 	nextSeq uint32
-	buffer  map[uint32]*bufEntry
+	buffer  map[uint32]bufEntry
 	// Loss counters.
 	Lost int
-
-	// Delay equalization (§6.4).
-	delayEWMA map[uint8]float64
 
 	// Delivery accounting.
 	TotalBytes   int64
@@ -46,16 +53,18 @@ type Sink struct {
 	OnDeliver DeliverFunc
 
 	// reverse caches the ack return route.
-	reverse    graph.Path
-	reverseIDs []wire.InterfaceID
-	reverseAt  float64
-	firstSeen  float64
-	lastData   float64
+	reverse   graph.Path
+	reverseAt float64
+	firstSeen float64
+	lastData  float64
 }
 
+// bufEntry is one reordered packet waiting for its predecessors: the
+// fields deliver needs, held by value (the frame is long since back in
+// the pool).
 type bufEntry struct {
-	frame *wire.DataFrame
-	meta  interface{}
+	payloadLen uint16
+	meta       interface{}
 }
 
 func newSink(a *Agent, src graph.NodeID, flowID uint16) *Sink {
@@ -63,14 +72,8 @@ func newSink(a *Agent, src graph.NodeID, flowID uint16) *Sink {
 		agent:     a,
 		src:       src,
 		flowID:    flowID,
-		qr:        map[uint8]float64{},
-		maxSeq:    map[uint8]uint32{},
-		delivered: map[uint8]uint32{},
-		seenRoute: map[uint8]bool{},
-		lastSeen:  map[uint8]float64{},
-		buffer:    map[uint32]*bufEntry{},
-		delayEWMA: map[uint8]float64{},
-		log:       newSeriesLog(),
+		buffer:    map[uint32]bufEntry{},
+		log:       newSeriesLog(a.em.cfg.ExpectedDuration),
 		firstSeen: a.em.Engine.Now(),
 		lastData:  a.em.Engine.Now(),
 	}
@@ -89,53 +92,89 @@ func (s *Sink) IdleFor(now float64) float64 { return now - s.lastData }
 // FlowID returns the flow identifier.
 func (s *Sink) FlowID() uint16 { return s.flowID }
 
-// onData ingests a data frame addressed to this node.
-func (s *Sink) onData(f *wire.DataFrame) {
+// route returns the state of route r, growing the dense table on first
+// sight. The pointer is only valid until the next route call.
+func (s *Sink) route(r uint8) *routeState {
+	for int(r) >= len(s.routes) {
+		s.routes = append(s.routes, routeState{})
+	}
+	return &s.routes[r]
+}
+
+// heldFrame carries a delay-equalized packet between its arrival and its
+// deferred admission; pooled on the emulation.
+type heldFrame struct {
+	sink       *Sink
+	seq        uint32
+	payloadLen uint16
+	meta       interface{}
+}
+
+func admitHeld(arg any) {
+	h := arg.(*heldFrame)
+	s, seq, plen, meta := h.sink, h.seq, h.payloadLen, h.meta
+	s.agent.em.freeHeldFrame(h)
+	s.admit(seq, plen, meta)
+}
+
+// onData ingests a data frame addressed to this node, consuming the
+// pooled packet: every field the sink needs is extracted before the
+// frame returns to the pool.
+func (s *Sink) onData(p *dataPkt) {
+	f := &p.frame
 	now := s.agent.em.Engine.Now()
 	s.lastData = now
 	r := f.RouteIdx
-	s.seenRoute[r] = true
-	s.lastSeen[r] = now
-	s.qr[r] = f.Header.QR
-	if f.Header.Seq > s.maxSeq[r] || !s.seenRoute[r] {
-		s.maxSeq[r] = f.Header.Seq
+	rs := s.route(r)
+	rs.seen = true
+	rs.lastSeen = now
+	rs.qr = f.Header.QR
+	if f.Header.Seq > rs.maxSeq {
+		rs.maxSeq = f.Header.Seq
 	}
-	s.delivered[r] += uint32(f.PayloadLen)
+	rs.delivered += uint32(f.PayloadLen)
 
-	meta := s.agent.em.takeMeta(f)
+	seq := f.Header.Seq
+	payloadLen := f.PayloadLen
+	sentAt := f.SentAt
+	meta := p.meta
+	s.agent.em.freePkt(p)
 
 	// Delay equalization: delay fast-route packets so that all routes
 	// show approximately the slowest route's delay (§6.4), reducing TCP
 	// reordering timeouts.
 	if s.agent.em.cfg.DelayEqualize {
-		d := now - f.SentAt
-		if old, ok := s.delayEWMA[r]; ok {
-			s.delayEWMA[r] = 0.9*old + 0.1*d
+		d := now - sentAt
+		if rs.hasDelay {
+			rs.delayEWMA = 0.9*rs.delayEWMA + 0.1*d
 		} else {
-			s.delayEWMA[r] = d
+			rs.delayEWMA = d
+			rs.hasDelay = true
 		}
 		target := 0.0
-		for _, v := range s.delayEWMA {
-			if v > target {
-				target = v
+		for i := range s.routes {
+			if s.routes[i].hasDelay && s.routes[i].delayEWMA > target {
+				target = s.routes[i].delayEWMA
 			}
 		}
-		if hold := target - s.delayEWMA[r]; hold > 1e-6 {
-			frame := f
-			s.agent.em.Engine.Schedule(hold, func() { s.admit(frame, meta) })
+		if hold := target - rs.delayEWMA; hold > 1e-6 {
+			em := s.agent.em
+			h := em.newHeldFrame()
+			h.sink, h.seq, h.payloadLen, h.meta = s, seq, payloadLen, meta
+			em.Engine.ScheduleFunc(hold, admitHeld, h)
 			return
 		}
 	}
-	s.admit(f, meta)
+	s.admit(seq, payloadLen, meta)
 }
 
-// admit places the frame into the reorder buffer and flushes whatever is
+// admit places the packet into the reorder buffer and flushes whatever is
 // now deliverable, applying the paper's loss rule: a missing sequence
 // number S is declared lost (and skipped) once every route has delivered
 // a packet with sequence greater than S.
-func (s *Sink) admit(f *wire.DataFrame, meta interface{}) {
-	if f.Header.Seq >= s.nextSeq {
-		s.buffer[f.Header.Seq] = &bufEntry{frame: f, meta: meta}
+func (s *Sink) admit(seq uint32, payloadLen uint16, meta interface{}) {
+	if seq >= s.nextSeq {
+		s.buffer[seq] = bufEntry{payloadLen: payloadLen, meta: meta}
 	}
 	s.flush()
 }
@@ -143,13 +182,13 @@ func (s *Sink) admit(f *wire.DataFrame, meta interface{}) {
 func (s *Sink) flush() {
 	for {
 		if e, ok := s.buffer[s.nextSeq]; ok {
-			s.deliver(e)
+			s.deliver(s.nextSeq, e)
 			delete(s.buffer, s.nextSeq)
 			s.nextSeq++
 			continue
 		}
 		// nextSeq missing: lost if all active routes are past it.
-		if len(s.seenRoute) == 0 || !s.allRoutesPast(s.nextSeq) {
+		if !s.allRoutesPast(s.nextSeq) {
 			return
 		}
 		s.Lost++
@@ -166,26 +205,30 @@ const routeStaleAfter = 1.0
 func (s *Sink) allRoutesPast(seq uint32) bool {
 	now := s.agent.em.Engine.Now()
 	live := 0
-	for r := range s.seenRoute {
-		if now-s.lastSeen[r] > routeStaleAfter {
+	for i := range s.routes {
+		rs := &s.routes[i]
+		if !rs.seen {
+			continue
+		}
+		if now-rs.lastSeen > routeStaleAfter {
 			continue // stale route: ignore its frozen sequence state
 		}
 		live++
-		if s.maxSeq[r] <= seq {
+		if rs.maxSeq <= seq {
 			return false
 		}
 	}
 	return live > 0
 }
 
-func (s *Sink) deliver(e *bufEntry) {
+func (s *Sink) deliver(seq uint32, e bufEntry) {
 	now := s.agent.em.Engine.Now()
-	bytes := int(e.frame.PayloadLen)
+	bytes := int(e.payloadLen)
 	s.TotalBytes += int64(bytes)
 	s.TotalPackets++
 	s.log.add(now, float64(bytes)*8)
 	if s.OnDeliver != nil {
-		s.OnDeliver(e.frame.Header.Seq, bytes, e.meta)
+		s.OnDeliver(seq, bytes, e.meta)
 	}
 }
 
@@ -217,9 +260,17 @@ func (s *Sink) MeanRate(from, to float64) float64 {
 // ackTick emits the periodic acknowledgement (at most every ack interval)
 // with per-route q_r, max sequence and delivered byte counts, sent to the
 // flow source over the best reverse single path with priority (small
-// high-priority frames in the paper; small frames here).
+// high-priority frames in the paper; small frames here). The frame and
+// its Routes backing come from the emulation's ack pool.
 func (s *Sink) ackTick() {
-	if len(s.seenRoute) == 0 {
+	seen := false
+	for i := range s.routes {
+		if s.routes[i].seen {
+			seen = true
+			break
+		}
+	}
+	if !seen {
 		return
 	}
 	now := s.agent.em.Engine.Now()
@@ -227,26 +278,23 @@ func (s *Sink) ackTick() {
 	if now-s.lastData > 2 {
 		return
 	}
-	ack := &wire.AckFrame{
-		Src:    s.src,
-		Dst:    s.agent.id,
-		FlowID: s.flowID,
-		SentAt: now,
-	}
-	var idxs []int
-	for r := range s.seenRoute {
-		idxs = append(idxs, int(r))
-	}
-	sort.Ints(idxs)
-	for _, ri := range idxs {
-		r := uint8(ri)
+	ack := s.agent.em.newAck()
+	ack.Src = s.src
+	ack.Dst = s.agent.id
+	ack.FlowID = s.flowID
+	ack.SentAt = now
+	for i := range s.routes {
+		rs := &s.routes[i]
+		if !rs.seen {
+			continue
+		}
 		ack.Routes = append(ack.Routes, wire.RouteAck{
-			RouteIdx:  r,
-			QR:        s.qr[r],
-			MaxSeq:    s.maxSeq[r],
-			Delivered: s.delivered[r],
+			RouteIdx:  uint8(i),
+			QR:        rs.qr,
+			MaxSeq:    rs.maxSeq,
+			Delivered: rs.delivered,
 		})
-		s.delivered[r] = 0
+		rs.delivered = 0
 	}
 	s.sendAck(ack)
 }
@@ -261,6 +309,7 @@ func (s *Sink) sendAck(ack *wire.AckFrame) {
 		s.reverseAt = now
 	}
 	if s.reverse == nil {
+		s.agent.em.freeAck(ack)
 		return // no way back; the source will coast on old prices
 	}
 	s.forwardAck(ack, s.reverse, 0)
@@ -269,18 +318,22 @@ func (s *Sink) sendAck(ack *wire.AckFrame) {
 // forwardAck sends the ack over hop h of the reverse path and chains to
 // the next hop upon MAC delivery. Acknowledgements ride the same MAC but
 // are tiny; the paper gives them prioritized queues, which our FIFO MAC
-// approximates by their negligible airtime.
+// approximates by their negligible airtime. The ack and its per-hop
+// wrapper are pooled: the MAC's drop callback releases both when a hop
+// dies, the final hop releases the ack after the source consumed it.
 func (s *Sink) forwardAck(ack *wire.AckFrame, path graph.Path, hop int) {
+	em := s.agent.em
 	if hop >= len(path) {
-		s.agent.em.Agents[s.src].onAck(ack)
+		em.Agents[s.src].onAck(ack)
+		em.freeAck(ack)
 		return
 	}
 	l := path[hop]
-	em := s.agent.em
 	from := em.Net.Link(l).From
 	bits := ackBits(ack)
-	// Chain delivery through a wrapper payload.
-	em.Agents[from].sendOnLink(l, bits, &ackHop{ack: ack, sink: s, path: path, hop: hop})
+	h := em.newAckHop()
+	h.ack, h.sink, h.path, h.hop = ack, s, path, hop
+	em.Agents[from].sendOnLink(l, bits, h)
 }
 
 // ackHop is the MAC payload that chains an ack along its reverse path.

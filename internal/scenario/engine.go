@@ -157,6 +157,10 @@ func Bind(em *node.Emulation, sc *Scenario, seed int64, opts Options) (*Runtime,
 	events := append([]Event(nil), sc.Events...)
 	events = append(events, expandProcesses(sc, em.Net, seed)...)
 	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	// Timeline events ride the engine's closure-free scheduling: the
+	// bound events live in one slice allocated here, and each timer
+	// carries a pointer into it instead of a captured closure.
+	bound := make([]timelineEvent, 0, len(events))
 	for _, ev := range events {
 		if ev.At > sc.Duration {
 			continue
@@ -169,9 +173,24 @@ func Bind(em *node.Emulation, sc *Scenario, seed int64, opts Options) (*Runtime,
 			rt.Unresolved = append(rt.Unresolved, err.Error())
 			continue
 		}
-		em.Engine.At(ev.At, func() { rt.apply(be) })
+		bound = append(bound, timelineEvent{rt: rt, be: be})
+	}
+	for i := range bound {
+		em.Engine.AtFunc(bound[i].be.At, applyTimelineEvent, &bound[i])
 	}
 	return rt, nil
+}
+
+// timelineEvent pairs a bound event with its runtime for the
+// closure-free timeline scheduling.
+type timelineEvent struct {
+	rt *Runtime
+	be boundEvent
+}
+
+func applyTimelineEvent(arg any) {
+	ev := arg.(*timelineEvent)
+	ev.rt.apply(ev.be)
 }
 
 // Run advances the emulation to the scenario's duration and closes the

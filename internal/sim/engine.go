@@ -8,6 +8,15 @@
 // The engine is single-threaded by design: every event handler runs to
 // completion before the next event fires, which keeps runs reproducible
 // from a seed without locking.
+//
+// Timers are pooled on a per-engine free list: steady-state workloads
+// (per-packet send timers, MAC transmission completions) schedule and
+// fire millions of timers without a single heap allocation. A fired or
+// cancelled Timer returns to the pool and may be handed out again, so
+// callers never hold a *Timer — they hold a TimerRef, a value handle
+// carrying the generation at grant time. Cancelling a TimerRef whose
+// timer was recycled is a no-op instead of killing the slot's new
+// occupant.
 package sim
 
 import (
@@ -15,30 +24,59 @@ import (
 	"math"
 )
 
-// Timer is a scheduled callback; it can be cancelled before firing.
+// Timer is a scheduled callback slot. Timers are owned by the engine's
+// pool; user code interacts with them through TimerRef handles.
 type Timer struct {
-	at    float64
-	seq   uint64
+	at  float64
+	seq uint64
+	// gen increments every time the slot is recycled; TimerRef handles
+	// carry the generation at grant time so stale handles go inert.
+	gen uint64
+	// Exactly one of fn (closure form) or hfn (closure-free form) is set
+	// while the timer is scheduled.
 	fn    func()
+	hfn   func(any)
+	arg   any
 	index int     // heap index, -1 when fired or cancelled
-	owner *Engine // heap the timer lives in while scheduled
+	owner *Engine // the engine whose pool owns this slot
+}
+
+// TimerRef is a handle to a scheduled timer. The zero value is inert:
+// Cancel on it is a no-op. Handles are plain values — storing or copying
+// them never allocates, which is what lets per-packet timers be
+// rescheduled on the hot path for free.
+type TimerRef struct {
+	t   *Timer
+	gen uint64
 }
 
 // Cancel prevents the timer from firing and removes it from the engine's
-// heap immediately (via the tracked heap index), so workloads that
-// schedule and cancel many timers — scenario engines flapping links, the
-// emulation's per-flow send timers — don't accumulate dead entries until
-// they are popped. Cancelling a fired or already-cancelled timer is a
-// no-op.
-func (t *Timer) Cancel() {
-	if t.index >= 0 && t.owner != nil {
-		heap.Remove(&t.owner.heap, t.index)
+// heap immediately (via the tracked heap index), returning the slot to
+// the pool. Cancelling a fired, already-cancelled, or zero handle is a
+// no-op — in particular, a handle held across the timer's firing does
+// not cancel the slot's next occupant.
+func (r TimerRef) Cancel() {
+	t := r.t
+	if t == nil || t.gen != r.gen || t.index < 0 {
+		return
 	}
-	t.fn = nil
+	heap.Remove(&t.owner.heap, t.index)
+	t.owner.recycle(t)
 }
 
-// When returns the virtual time the timer fires at.
-func (t *Timer) When() float64 { return t.at }
+// Active reports whether the handle still refers to a scheduled timer.
+func (r TimerRef) Active() bool {
+	return r.t != nil && r.t.gen == r.gen && r.t.index >= 0
+}
+
+// When returns the virtual time the timer fires at, or NaN for a handle
+// whose timer already fired or was cancelled.
+func (r TimerRef) When() float64 {
+	if !r.Active() {
+		return math.NaN()
+	}
+	return r.t.at
+}
 
 type timerHeap []*Timer
 
@@ -75,26 +113,69 @@ type Engine struct {
 	now  float64
 	seq  uint64
 	heap timerHeap
+	free []*Timer // recycled timer slots
 }
 
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
-// Pending returns the number of scheduled (uncancelled) timers.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, t := range e.heap {
-		if t.fn != nil {
-			n++
-		}
+// Pending returns the number of scheduled timers. Cancel removes timers
+// from the heap immediately, so every heap entry is live and this is
+// O(1).
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// NextEventTime returns the time of the earliest pending event, or +Inf
+// when the queue is empty. O(1): the heap root is the earliest live
+// timer (see Pending).
+func (e *Engine) NextEventTime() float64 {
+	if len(e.heap) == 0 {
+		return math.Inf(1)
 	}
-	return n
+	return e.heap[0].at
+}
+
+// alloc hands out a timer slot from the free list (or a fresh one).
+func (e *Engine) alloc() *Timer {
+	if n := len(e.free); n > 0 {
+		t := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return t
+	}
+	return &Timer{owner: e}
+}
+
+// recycle returns a popped or removed slot to the pool. The generation
+// bump is what invalidates outstanding TimerRef handles.
+func (e *Engine) recycle(t *Timer) {
+	t.gen++
+	t.fn = nil
+	t.hfn = nil
+	t.arg = nil
+	t.index = -1
+	e.free = append(e.free, t)
+}
+
+// push allocates a slot at absolute time `at` with the next sequence
+// number. The (at, seq) pair is assigned exactly as it always was —
+// pooling recycles slots, never sequence numbers — so the heap's FIFO
+// tie-break among simultaneous events is unchanged.
+func (e *Engine) push(at float64) *Timer {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	t := e.alloc()
+	t.at = at
+	t.seq = e.seq
+	heap.Push(&e.heap, t)
+	return t
 }
 
 // Schedule runs fn after delay seconds of virtual time. A negative delay
 // is treated as zero (fires at the current time, after currently-running
 // handlers).
-func (e *Engine) Schedule(delay float64, fn func()) *Timer {
+func (e *Engine) Schedule(delay float64, fn func()) TimerRef {
 	if delay < 0 {
 		delay = 0
 	}
@@ -102,14 +183,30 @@ func (e *Engine) Schedule(delay float64, fn func()) *Timer {
 }
 
 // At runs fn at absolute virtual time t (clamped to now).
-func (e *Engine) At(t float64, fn func()) *Timer {
-	if t < e.now {
-		t = e.now
+func (e *Engine) At(at float64, fn func()) TimerRef {
+	t := e.push(at)
+	t.fn = fn
+	return TimerRef{t, t.gen}
+}
+
+// ScheduleFunc is the closure-free form of Schedule: fn is typically a
+// package-level function and arg the state it operates on (a pointer
+// fits in the interface without allocating). Hot paths that would
+// otherwise capture a fresh closure per event — per-packet send timers,
+// MAC completions — use this to stay allocation-free.
+func (e *Engine) ScheduleFunc(delay float64, fn func(any), arg any) TimerRef {
+	if delay < 0 {
+		delay = 0
 	}
-	e.seq++
-	timer := &Timer{at: t, seq: e.seq, fn: fn, owner: e}
-	heap.Push(&e.heap, timer)
-	return timer
+	return e.AtFunc(e.now+delay, fn, arg)
+}
+
+// AtFunc is the closure-free form of At.
+func (e *Engine) AtFunc(at float64, fn func(any), arg any) TimerRef {
+	t := e.push(at)
+	t.hfn = fn
+	t.arg = arg
+	return TimerRef{t, t.gen}
 }
 
 // Every schedules fn every interval seconds, starting after the first
@@ -125,27 +222,46 @@ type Periodic struct {
 	engine   *Engine
 	interval float64
 	fn       func()
-	timer    *Timer
+	timer    TimerRef
 	stopped  bool
 }
 
+// arm schedules the next firing through the closure-free path: the one
+// Periodic allocation at Every covers every subsequent rearm.
 func (p *Periodic) arm() {
-	p.timer = p.engine.Schedule(p.interval, func() {
-		if p.stopped {
-			return
-		}
-		p.fn()
-		if !p.stopped {
-			p.arm()
-		}
-	})
+	p.timer = p.engine.ScheduleFunc(p.interval, periodicTick, p)
+}
+
+func periodicTick(arg any) {
+	p := arg.(*Periodic)
+	if p.stopped {
+		return
+	}
+	p.fn()
+	if !p.stopped {
+		p.arm()
+	}
 }
 
 // Stop ends the periodic task.
 func (p *Periodic) Stop() {
 	p.stopped = true
-	if p.timer != nil {
-		p.timer.Cancel()
+	p.timer.Cancel()
+}
+
+// fire pops the heap root, advances the clock, recycles the slot, and
+// runs the handler. The slot is recycled before the handler runs so a
+// handler that immediately reschedules reuses it; any TimerRef to the
+// firing timer went stale at the generation bump.
+func (e *Engine) fire() {
+	next := heap.Pop(&e.heap).(*Timer)
+	e.now = next.at
+	fn, hfn, arg := next.fn, next.hfn, next.arg
+	e.recycle(next)
+	if hfn != nil {
+		hfn(arg)
+	} else if fn != nil {
+		fn()
 	}
 }
 
@@ -154,19 +270,9 @@ func (p *Periodic) Stop() {
 // events processed.
 func (e *Engine) Run(until float64) int {
 	processed := 0
-	for len(e.heap) > 0 {
-		next := e.heap[0]
-		if next.at > until {
-			break
-		}
-		heap.Pop(&e.heap)
-		e.now = next.at
-		if next.fn != nil {
-			fn := next.fn
-			next.fn = nil
-			fn()
-			processed++
-		}
+	for len(e.heap) > 0 && e.heap[0].at <= until {
+		e.fire()
+		processed++
 	}
 	if e.now < until {
 		e.now = until
@@ -182,30 +288,11 @@ func (e *Engine) RunUntilIdle() int {
 	const budget = 50_000_000
 	processed := 0
 	for len(e.heap) > 0 {
-		next := heap.Pop(&e.heap).(*Timer)
-		e.now = next.at
-		if next.fn != nil {
-			fn := next.fn
-			next.fn = nil
-			fn()
-			processed++
-			if processed > budget {
-				panic("sim: event budget exceeded; runaway schedule?")
-			}
+		e.fire()
+		processed++
+		if processed > budget {
+			panic("sim: event budget exceeded; runaway schedule?")
 		}
 	}
 	return processed
-}
-
-// NextEventTime returns the time of the earliest pending (uncancelled)
-// event, or +Inf when the queue is empty. O(n); intended for tests and
-// diagnostics.
-func (e *Engine) NextEventTime() float64 {
-	min := math.Inf(1)
-	for _, t := range e.heap {
-		if t.fn != nil && t.at < min {
-			min = t.at
-		}
-	}
-	return min
 }

@@ -190,7 +190,7 @@ func TestTimerWhen(t *testing.T) {
 // would otherwise bloat the heap with corpses.
 func TestCancelRemovesFromHeap(t *testing.T) {
 	var e Engine
-	var timers []*Timer
+	var timers []TimerRef
 	for i := 0; i < 100; i++ {
 		i := i
 		timers = append(timers, e.Schedule(float64(i+1), func() { _ = i }))
@@ -228,7 +228,7 @@ func TestCancelRemovesFromHeap(t *testing.T) {
 func TestCancelDuringHandler(t *testing.T) {
 	var e Engine
 	firedB := false
-	var b *Timer
+	var b TimerRef
 	e.Schedule(1, func() { b.Cancel() }) // same time, scheduled first: fires first (FIFO)
 	b = e.Schedule(1, func() { firedB = true })
 	e.RunUntilIdle()

@@ -103,7 +103,7 @@ type Sender struct {
 	sendTimes map[int64]float64
 	retxSeqs  map[int64]bool
 
-	rtoTimer *sim.Timer
+	rtoTimer sim.TimerRef
 	done     bool
 	onDone   func(finishedAt float64)
 
@@ -185,10 +185,8 @@ func (s *Sender) transmit(seq int64, length int, isRetx bool) {
 }
 
 func (s *Sender) armRTO() {
-	if s.rtoTimer != nil {
-		s.rtoTimer.Cancel()
-		s.rtoTimer = nil
-	}
+	s.rtoTimer.Cancel()
+	s.rtoTimer = sim.TimerRef{}
 	if s.sndUna == s.sndNxt || s.done {
 		return // nothing in flight
 	}
@@ -251,9 +249,7 @@ func (s *Sender) OnAck(a Ack) {
 		}
 		if s.totalBytes >= 0 && s.sndUna >= s.totalBytes {
 			s.done = true
-			if s.rtoTimer != nil {
-				s.rtoTimer.Cancel()
-			}
+			s.rtoTimer.Cancel()
 			if s.onDone != nil {
 				s.onDone(now)
 			}

@@ -32,12 +32,15 @@ const dataFrameSize = 1 + HeaderSize + 2 + 2 + 2 + 1 + 1 + 8 + 2
 // WireLen returns the total frame size in bytes (framing + payload).
 func (f *DataFrame) WireLen() int { return dataFrameSize + int(f.PayloadLen) }
 
-// MarshalBinary encodes the frame (without the simulated payload bytes).
-func (f *DataFrame) MarshalBinary() []byte {
-	buf := make([]byte, dataFrameSize)
-	buf[0] = byte(TypeData)
-	copy(buf[1:], f.Header.MarshalBinary())
-	off := 1 + HeaderSize
+// AppendBinary appends the frame encoding (without the simulated payload
+// bytes) to buf and returns the extended slice; see Header.AppendBinary
+// for the scratch-buffer convention.
+func (f *DataFrame) AppendBinary(buf []byte) []byte {
+	start := len(buf)
+	buf = append(buf, byte(TypeData))
+	buf = f.Header.AppendBinary(buf)
+	buf = appendZeros(buf, dataFrameSize-1-HeaderSize)
+	off := start + 1 + HeaderSize
 	binary.BigEndian.PutUint16(buf[off:], uint16(f.Src))
 	binary.BigEndian.PutUint16(buf[off+2:], uint16(f.Dst))
 	binary.BigEndian.PutUint16(buf[off+4:], f.FlowID)
@@ -46,6 +49,11 @@ func (f *DataFrame) MarshalBinary() []byte {
 	binary.BigEndian.PutUint64(buf[off+8:], floatBits(f.SentAt))
 	binary.BigEndian.PutUint16(buf[off+16:], f.PayloadLen)
 	return buf
+}
+
+// MarshalBinary encodes the frame (without the simulated payload bytes).
+func (f *DataFrame) MarshalBinary() []byte {
+	return f.AppendBinary(make([]byte, 0, dataFrameSize))
 }
 
 // UnmarshalBinary decodes a data frame.
@@ -101,27 +109,34 @@ const routeAckSize = 1 + 4 + 4 + 4
 // WireLen returns the encoded size in bytes.
 func (f *AckFrame) WireLen() int { return ackFixedSize + len(f.Routes)*routeAckSize }
 
-// MarshalBinary encodes the ack.
-func (f *AckFrame) MarshalBinary() ([]byte, error) {
+// AppendBinary appends the ack encoding to buf and returns the extended
+// slice; see Header.AppendBinary for the scratch-buffer convention.
+func (f *AckFrame) AppendBinary(buf []byte) ([]byte, error) {
 	if len(f.Routes) > 255 {
-		return nil, fmt.Errorf("wire: %d route acks exceed 255", len(f.Routes))
+		return buf, fmt.Errorf("wire: %d route acks exceed 255", len(f.Routes))
 	}
-	buf := make([]byte, f.WireLen())
-	buf[0] = byte(TypeAck)
-	binary.BigEndian.PutUint16(buf[1:], uint16(f.Src))
-	binary.BigEndian.PutUint16(buf[3:], uint16(f.Dst))
-	binary.BigEndian.PutUint16(buf[5:], f.FlowID)
-	binary.BigEndian.PutUint64(buf[7:], floatBits(f.SentAt))
-	buf[15] = byte(len(f.Routes))
-	off := ackFixedSize
+	start := len(buf)
+	buf = appendZeros(buf, ackFixedSize)
+	buf[start] = byte(TypeAck)
+	binary.BigEndian.PutUint16(buf[start+1:], uint16(f.Src))
+	binary.BigEndian.PutUint16(buf[start+3:], uint16(f.Dst))
+	binary.BigEndian.PutUint16(buf[start+5:], f.FlowID)
+	binary.BigEndian.PutUint64(buf[start+7:], floatBits(f.SentAt))
+	buf[start+15] = byte(len(f.Routes))
 	for _, r := range f.Routes {
+		off := len(buf)
+		buf = appendZeros(buf, routeAckSize)
 		buf[off] = r.RouteIdx
 		binary.BigEndian.PutUint32(buf[off+1:], encodeFixed(r.QR))
 		binary.BigEndian.PutUint32(buf[off+5:], r.MaxSeq)
 		binary.BigEndian.PutUint32(buf[off+9:], r.Delivered)
-		off += routeAckSize
 	}
 	return buf, nil
+}
+
+// MarshalBinary encodes the ack.
+func (f *AckFrame) MarshalBinary() ([]byte, error) {
+	return f.AppendBinary(make([]byte, 0, f.WireLen()))
 }
 
 // UnmarshalBinary decodes an ack.
@@ -140,7 +155,13 @@ func (f *AckFrame) UnmarshalBinary(buf []byte) error {
 	if len(buf) < ackFixedSize+n*routeAckSize {
 		return ErrShort
 	}
-	f.Routes = make([]RouteAck, n)
+	// Reuse the Routes backing array across decodes: steady-state ack
+	// processing must not allocate per frame.
+	if cap(f.Routes) >= n {
+		f.Routes = f.Routes[:n]
+	} else {
+		f.Routes = make([]RouteAck, n)
+	}
 	off := ackFixedSize
 	for i := range f.Routes {
 		f.Routes[i] = RouteAck{
@@ -179,18 +200,26 @@ const priceFrameSize = 1 + 2 + 1 + 4 + 4 + 1
 // WireLen returns the encoded size in bytes.
 func (f *PriceFrame) WireLen() int { return priceFrameSize }
 
-// MarshalBinary encodes the price broadcast.
-func (f *PriceFrame) MarshalBinary() []byte {
-	buf := make([]byte, priceFrameSize)
-	buf[0] = byte(TypePrice)
-	binary.BigEndian.PutUint16(buf[1:], uint16(f.Origin))
-	buf[3] = byte(f.Tech)
-	binary.BigEndian.PutUint32(buf[4:], encodeFixed(f.Airtime))
-	binary.BigEndian.PutUint32(buf[8:], encodeFixed(f.GammaSum))
+// AppendBinary appends the price-broadcast encoding to buf and returns
+// the extended slice; see Header.AppendBinary for the scratch-buffer
+// convention.
+func (f *PriceFrame) AppendBinary(buf []byte) []byte {
+	off := len(buf)
+	buf = appendZeros(buf, priceFrameSize)
+	buf[off] = byte(TypePrice)
+	binary.BigEndian.PutUint16(buf[off+1:], uint16(f.Origin))
+	buf[off+3] = byte(f.Tech)
+	binary.BigEndian.PutUint32(buf[off+4:], encodeFixed(f.Airtime))
+	binary.BigEndian.PutUint32(buf[off+8:], encodeFixed(f.GammaSum))
 	if f.TCPPresent {
-		buf[12] = 1
+		buf[off+12] = 1
 	}
 	return buf
+}
+
+// MarshalBinary encodes the price broadcast.
+func (f *PriceFrame) MarshalBinary() []byte {
+	return f.AppendBinary(make([]byte, 0, priceFrameSize))
 }
 
 // UnmarshalBinary decodes a price broadcast.

@@ -146,15 +146,36 @@ func encodeFixed(v float64) uint32 {
 
 func decodeFixed(u uint32) float64 { return float64(u) / fixedPointOne }
 
+// zeros backs appendZeros; large enough for any fixed-size frame chunk.
+var zeros [64]byte
+
+// appendZeros extends buf by n zero bytes without a temporary slice.
+func appendZeros(buf []byte, n int) []byte {
+	for n > len(zeros) {
+		buf = append(buf, zeros[:]...)
+		n -= len(zeros)
+	}
+	return append(buf, zeros[:n]...)
+}
+
+// AppendBinary appends the HeaderSize-byte encoding to buf and returns
+// the extended slice. Callers on hot paths pass a retained scratch
+// buffer (`buf[:0]`) so encoding allocates nothing once the scratch has
+// grown to size.
+func (h *Header) AppendBinary(buf []byte) []byte {
+	off := len(buf)
+	buf = appendZeros(buf, HeaderSize)
+	for i, r := range h.Route {
+		binary.BigEndian.PutUint16(buf[off+i*2:], uint16(r))
+	}
+	binary.BigEndian.PutUint32(buf[off+12:], encodeFixed(h.QR))
+	binary.BigEndian.PutUint32(buf[off+16:], h.Seq)
+	return buf
+}
+
 // MarshalBinary encodes the header into exactly HeaderSize bytes.
 func (h *Header) MarshalBinary() []byte {
-	buf := make([]byte, HeaderSize)
-	for i, r := range h.Route {
-		binary.BigEndian.PutUint16(buf[i*2:], uint16(r))
-	}
-	binary.BigEndian.PutUint32(buf[12:], encodeFixed(h.QR))
-	binary.BigEndian.PutUint32(buf[16:], h.Seq)
-	return buf
+	return h.AppendBinary(make([]byte, 0, HeaderSize))
 }
 
 // UnmarshalBinary decodes a header from buf.

@@ -5,8 +5,14 @@
 #
 #   BENCH_ROUTING.json  — routing and controller micro-benchmarks plus the
 #                         Figure-4 sweep bench (tracked since PR 2)
-#   BENCH_SCENARIO.json — the churn-sweep bench: the dynamic-network
-#                         scenario engine end to end (tracked since PR 3)
+#   BENCH_SCENARIO.json — the emulation fast-path benches: the churn sweep
+#                         (scenario engine end to end, tracked since PR 3)
+#                         and one emulated second of the flaps scenario
+#                         (tracked since PR 5)
+#
+# Before overwriting an output file, the previously committed numbers are
+# kept and a delta table (old → new, with ratios) is printed, so a PR's
+# perf effect is visible straight from the script output.
 #
 # Usage: scripts/bench.sh [routing-output.json [scenario-output.json]]
 #   BENCHTIME=200ms scripts/bench.sh   # quicker, noisier run
@@ -19,12 +25,18 @@ scenario_out="${2:-BENCH_SCENARIO.json}"
 benchtime="${BENCHTIME:-1s}"
 
 # run_bench PATTERN OUTPUT — runs the root-package benchmarks matching
-# PATTERN and records them as a JSON document in OUTPUT.
+# PATTERN and records them as a JSON document in OUTPUT. A pre-existing
+# OUTPUT (the committed numbers) is diffed against the fresh run.
 run_bench() {
-  local pattern="$1" out="$2" tmp
+  local pattern="$1" out="$2" tmp old
   tmp="$(mktemp)"
+  old=""
+  if [[ -f "$out" ]]; then
+    old="$(mktemp)"
+    cp "$out" "$old"
+  fi
   # shellcheck disable=SC2064
-  trap "rm -f '$tmp'" RETURN
+  trap "rm -f '$tmp' ${old:+'$old'}" RETURN
   go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -count 1 . | tee "$tmp" >&2
 
   {
@@ -52,7 +64,55 @@ run_bench() {
     printf '  ]\n}\n'
   } > "$out"
   echo "wrote $out" >&2
+  if [[ -n "$old" ]]; then
+    print_delta "$old" "$out" >&2
+  fi
+}
+
+# print_delta OLD NEW — per-benchmark old → new table for ns/op and
+# allocs/op, with improvement ratios (old/new: > 1 is faster/leaner).
+print_delta() {
+  awk '
+    function load(file, dest,   line, name, ns, al) {
+      while ((getline line < file) > 0) {
+        if (line !~ /"name"/) continue
+        name = line; sub(/.*"name":"/, "", name); sub(/".*/, "", name)
+        ns = line; sub(/.*"ns_per_op":/, "", ns); sub(/[,}].*/, "", ns)
+        al = line; sub(/.*"allocs_per_op":/, "", al); sub(/[,}].*/, "", al)
+        dest[name] = ns "|" al
+      }
+      close(file)
+    }
+    function ratio(o, n) {
+      if (o == "null" || n == "null" || n + 0 == 0) return "      -"
+      return sprintf("%6.2fx", o / n)
+    }
+    BEGIN {
+      load(ARGV[1], oldv)
+      load(ARGV[2], newv)
+      printf "\ndelta vs previously committed %s:\n", ARGV[2]
+      printf "%-44s %14s %14s %8s %12s %12s %8s\n", "benchmark", "old ns/op", "new ns/op", "speed", "old allocs", "new allocs", "allocs"
+      n = 0
+      for (name in newv) order[++n] = name
+      # insertion sort: asort is gawk-only and CI runs mawk
+      for (i = 2; i <= n; i++) {
+        v = order[i]
+        for (j = i - 1; j >= 1 && order[j] > v; j--) order[j+1] = order[j]
+        order[j+1] = v
+      }
+      for (i = 1; i <= n; i++) {
+        name = order[i]
+        split(newv[name], nv, "|")
+        if (!(name in oldv)) {
+          printf "%-44s %14s %14s %8s %12s %12s %8s\n", name, "-", nv[1], "new", "-", nv[2], "new"
+          continue
+        }
+        split(oldv[name], ov, "|")
+        printf "%-44s %14s %14s %8s %12s %12s %8s\n", name, ov[1], nv[1], ratio(ov[1], nv[1]), ov[2], nv[2], ratio(ov[2], nv[2])
+      }
+    }
+  ' "$1" "$2"
 }
 
 run_bench 'BenchmarkRoutingN5$|BenchmarkAblationNShortest|BenchmarkAblationCSC|BenchmarkControllerSlot$|BenchmarkFigure4ParallelSweep' "$routing_out"
-run_bench 'BenchmarkChurnSweep$' "$scenario_out"
+run_bench 'BenchmarkChurnSweep$|BenchmarkEmulationSecond$' "$scenario_out"
