@@ -27,6 +27,12 @@
 //	-frac F          goodput-recovery fraction defining failover (0.8)
 //	-manage          attach the §3.2 route manager with fast failover to
 //	                 multipath CC flows (default true)
+//	-shards N        domain-sharded emulation engine: run up to N parallel
+//	                 workers over the topology's interference domains
+//	                 (default 1; 0 = one worker per core). Never changes
+//	                 the numbers — the trajectory is bit-identical at any
+//	                 shard count; connected single-domain topologies run
+//	                 the classic engine regardless
 //	-flaprates list  run the goodput-vs-flap-rate sweep at these flap
 //	                 frequencies (cycles/minute, e.g. "0.5,1,2,4")
 //	                 instead of the failover experiment
@@ -49,6 +55,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/node"
 	"repro/internal/scenario"
 )
 
@@ -64,6 +71,7 @@ func main() {
 	bin := flag.Float64("bin", 0.2, "failover measurement bin (seconds)")
 	frac := flag.Float64("frac", 0.8, "goodput-recovery fraction defining failover")
 	manage := flag.Bool("manage", true, "attach the route manager (fast failover) to multipath CC flows")
+	shards := flag.Int("shards", 1, "domain-shard workers per emulation (0: one per core)")
 	flapRates := flag.String("flaprates", "", "goodput-vs-flap-rate sweep frequencies (cycles/minute)")
 	flag.Parse()
 
@@ -82,6 +90,7 @@ func main() {
 	cfg := experiments.ChurnConfig{
 		Seed: *seed, Runs: *runs, Schemes: schemes, Delta: *delta,
 		Bin: *bin, Frac: *frac, ManageRoutes: *manage, Parallel: *parallel,
+		Shards: shardsValue(*shards),
 	}
 
 	enc := json.NewEncoder(os.Stdout)
@@ -110,6 +119,15 @@ func main() {
 	res, err := experiments.ChurnFailoverCtx(ctx, sc, cfg)
 	fail(err)
 	emit("churn-failover", res, res.Render)
+}
+
+// shardsValue maps the CLI convention (0 = auto) onto node.Config.Shards
+// (where 0 is the classic engine and ShardsAuto requests GOMAXPROCS).
+func shardsValue(n int) int {
+	if n == 0 {
+		return node.ShardsAuto
+	}
+	return n
 }
 
 func parseFloats(csv string) ([]float64, error) {

@@ -20,6 +20,10 @@
 //	-pairs N       random station pairs for figure 10 (paper: 50)
 //	-flows N       flows for figures 11 and 13
 //	-delta D       constraint margin δ
+//	-shards N      domain-shard workers per emulation (default 1; 0 = one
+//	               per core). The testbed floor is one interference
+//	               domain, so this only matters for sharded-engine
+//	               comparisons; it never changes the numbers
 //
 // Usage:
 //
@@ -38,6 +42,7 @@ import (
 	"os/signal"
 
 	"repro/internal/experiments"
+	"repro/internal/node"
 )
 
 func main() {
@@ -52,6 +57,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "replication workers (<= 0: GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit results as JSON objects on stdout")
 	delta := flag.Float64("delta", 0.05, "constraint margin δ")
+	shards := flag.Int("shards", 1, "domain-shard workers per emulation (0: one per core)")
 	flag.Parse()
 
 	if *runs > 0 {
@@ -64,7 +70,7 @@ func main() {
 	cfg := experiments.TestbedConfig{
 		Seed: *seed, Duration: *duration, Pairs: *pairs,
 		Flows: *flows, Repeats: *repeats, Delta: *delta,
-		Parallel: *parallel,
+		Parallel: *parallel, Shards: shardsValue(*shards),
 	}
 
 	enc := json.NewEncoder(os.Stdout)
@@ -126,6 +132,15 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// shardsValue maps the CLI convention (0 = auto) onto node.Config.Shards
+// (where 0 is the classic engine and ShardsAuto requests GOMAXPROCS).
+func shardsValue(n int) int {
+	if n == 0 {
+		return node.ShardsAuto
+	}
+	return n
 }
 
 func fail(err error) {

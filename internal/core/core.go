@@ -197,7 +197,11 @@ type Result struct {
 // Evaluate computes the scheme's converged per-flow throughput on an
 // instance for the given source-destination pairs (analytic mode).
 func Evaluate(inst *topology.Instance, s Scheme, pairs [][2]graph.NodeID, opts Options) Result {
-	net := inst.Build(s.View())
+	// Every downstream consumer here is read-only on the network (route
+	// selection clones before mutating, the controller and fluid MAC only
+	// read capacities), so the per-instance view cache is safe and
+	// collapses the per-scheme rebuilds that dominate sweep allocations.
+	net := inst.BuildCached(s.View())
 	res := Result{Scheme: s, Flows: make([]FlowResult, len(pairs))}
 
 	// Route selection per flow.

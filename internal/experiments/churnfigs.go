@@ -45,6 +45,13 @@ type ChurnConfig struct {
 	// Parallel bounds the replication worker pool (<= 0: GOMAXPROCS).
 	// The worker count never changes results, only wall-clock time.
 	Parallel int
+	// Shards enables the domain-sharded emulation engine inside each
+	// replication (node.Config.Shards): 0 keeps the classic single
+	// engine, n >= 1 decomposes multi-domain topologies and runs up to n
+	// domain workers, node.ShardsAuto uses GOMAXPROCS. Like Parallel, it
+	// never changes results — the trajectory is bit-identical at any
+	// shard count.
+	Shards int
 }
 
 func (c ChurnConfig) runs() int {
@@ -154,7 +161,7 @@ func churnReplication(sc *scenario.Scenario, scheme core.Scheme, cfg ChurnConfig
 	}
 	em := node.NewEmulation(net, node.Config{
 		Delta: cfg.Delta, DisableCC: !scheme.CC(), Estimation: true,
-		ExpectedDuration: sc.Duration,
+		ExpectedDuration: sc.Duration, Shards: cfg.Shards,
 	}, emSeed)
 	opts := scenario.Options{
 		Routes: func(n *graph.Network, src, dst graph.NodeID) []graph.Path {

@@ -255,7 +255,7 @@ func Figure6Ctx(ctx context.Context, t Topo, cfg SimConfig) (Figure6Result, erro
 	runs, err := runner.Collect(ctx, cfg.runs(), cfg.runnerConfig(),
 		func(_ context.Context, rep runner.Rep) *f6run {
 			inst, src, dst := instanceFor(t, cfg, rep.Index)
-			net := inst.Build(topology.ViewHybrid)
+			net := inst.BuildCached(topology.ViewHybrid)
 			flows := []optimal.FlowSpec{{Src: src, Dst: dst}}
 			opt, err := optimal.Optimal(net.Network, flows, optCfg)
 			if err != nil || opt.FlowRates[0] <= 0 {
@@ -347,7 +347,7 @@ func Figure7Ctx(ctx context.Context, t Topo, cfg SimConfig) (Figure7Result, erro
 				pairs[i] = [2]graph.NodeID{s, d}
 				flows[i] = optimal.FlowSpec{Src: s, Dst: d}
 			}
-			net := inst.Build(topology.ViewHybrid)
+			net := inst.BuildCached(topology.ViewHybrid)
 			optCfg := optimal.Config{Enumerate: optimal.EnumerateOptions{MaxHops: 4, MaxPaths: 512}}
 			opt, err := optimal.Optimal(net.Network, flows, optCfg)
 			if err != nil || opt.Utility <= 0 {
@@ -435,7 +435,7 @@ func ConvergenceCtx(ctx context.Context, t Topo, cfg SimConfig) (ConvergenceResu
 	res := ConvergenceResult{Topo: t, Runs: runs}
 	measure := func(run int) *convRun {
 		inst, src, dst := instanceFor(t, cfg, run)
-		net := inst.Build(topology.ViewHybrid)
+		net := inst.BuildCached(topology.ViewHybrid)
 		routes := core.RoutesFor(core.SchemeEMPoWER, net.Network, src, dst)
 		if len(routes) == 0 {
 			return nil

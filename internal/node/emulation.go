@@ -34,6 +34,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/linkest"
 	"repro/internal/mac"
+	"repro/internal/optimal"
 	"repro/internal/sim"
 	"repro/internal/wire"
 )
@@ -80,7 +81,23 @@ type Config struct {
 	// rate logs for a run of this many emulated seconds (callers that
 	// know the scenario duration set it; zero means grow on demand).
 	ExpectedDuration float64
+	// Shards enables the sharded engine for topologies that decompose
+	// into several interference domains (optimal.InterferenceDomains):
+	// 0 (the zero value) always runs the classic single engine; n >= 1
+	// runs one pooled engine per domain with up to n worker goroutines
+	// (1 = sequential, still domain-decomposed); ShardsAuto sizes the
+	// worker pool to GOMAXPROCS. The decomposition depends only on the
+	// topology — never on the shard count — and each domain draws from
+	// its own seed split, so the trajectory is bit-identical at any
+	// Shards >= 1. A single-domain topology (every connected network)
+	// always takes the classic engine, making Shards >= 1 byte-identical
+	// to the zero value there.
+	Shards int
 }
+
+// ShardsAuto, as Config.Shards, sizes the sharded engine's worker pool
+// to GOMAXPROCS (cmd flags map -shards 0 to it).
+const ShardsAuto = -1
 
 func (c Config) ackInterval() float64 {
 	if c.AckInterval <= 0 {
@@ -180,6 +197,16 @@ type Emulation struct {
 
 	// priceBuf is the scratch encode buffer of broadcastPrice.
 	priceBuf []byte
+
+	// Sharded-mode state (see shard.go). A sharded top-level emulation is
+	// a dispatcher: Engine and MAC are nil, doms holds one closed
+	// sub-emulation per interference domain, and Agents merges the
+	// per-domain agents. Inside a sub-emulation, doms is nil and Agents
+	// has nil entries for foreign nodes.
+	doms    []*Emulation
+	nodeDom []int
+	linkDom []int
+	sh      *sim.Sharded
 }
 
 func (e *Emulation) newPkt() *dataPkt {
@@ -257,8 +284,25 @@ func (e *Emulation) freeHeldFrame(h *heldFrame) {
 	e.holdFree = append(e.holdFree, h)
 }
 
-// NewEmulation builds the emulated network.
+// NewEmulation builds the emulated network. With Config.Shards set and a
+// topology that decomposes into several interference domains, the result
+// is a sharded emulation running one engine per domain (see shard.go);
+// otherwise it is the classic single-engine emulation.
 func NewEmulation(net *graph.Network, cfg Config, seed int64) *Emulation {
+	if cfg.Shards != 0 {
+		if dec := optimal.InterferenceDomains(net); dec.Num > 1 {
+			return newSharded(net, cfg, seed, dec)
+		}
+	}
+	return newEmulationOwned(net, cfg, seed, nil)
+}
+
+// newEmulationOwned is the working constructor: own == nil builds the
+// classic emulation over every node; a non-nil ownership mask builds one
+// domain's closed sub-emulation — agents, price ticks and the RNG belong
+// to the owned nodes only, while the network (a per-domain clone) keeps
+// its full shape so global node and link IDs stay valid.
+func newEmulationOwned(net *graph.Network, cfg Config, seed int64, own []bool) *Emulation {
 	e := &Emulation{
 		Engine: &sim.Engine{},
 		Net:    net,
@@ -283,11 +327,19 @@ func NewEmulation(net *graph.Network, cfg Config, seed int64) *Emulation {
 	e.MAC.Drop = e.macDrop
 	e.Agents = make([]*Agent, net.NumNodes())
 	for i := range e.Agents {
+		if own != nil && !own[i] {
+			continue
+		}
 		e.Agents[i] = newAgent(e, graph.NodeID(i))
 	}
 	// Periodic per-node price broadcasts and dual updates, staggered a
-	// little to avoid artificial synchronization.
+	// little to avoid artificial synchronization. The offsets use the
+	// global node index and count in every mode, so a node's tick phase
+	// does not depend on how the topology sharded.
 	for i, a := range e.Agents {
+		if a == nil {
+			continue
+		}
 		a := a
 		offset := cfg.priceInterval() * float64(i) / float64(len(e.Agents)+1)
 		e.Engine.Schedule(offset, func() {
@@ -298,8 +350,19 @@ func NewEmulation(net *graph.Network, cfg Config, seed int64) *Emulation {
 	return e
 }
 
-// Flows returns the registered flows.
-func (e *Emulation) Flows() []*Flow { return e.flows }
+// Flows returns the registered flows. On a sharded emulation the flows
+// are merged in domain order; note that flow IDs are unique only within
+// a domain (they only ride intra-domain frames).
+func (e *Emulation) Flows() []*Flow {
+	if e.doms == nil {
+		return e.flows
+	}
+	var out []*Flow
+	for _, d := range e.doms {
+		out = append(out, d.flows...)
+	}
+	return out
+}
 
 // Agent returns node id's agent.
 func (e *Emulation) Agent(id graph.NodeID) *Agent { return e.Agents[id] }
@@ -322,8 +385,16 @@ func (e *Emulation) macDrop(_ graph.LinkID, pkt mac.Packet, _ string) {
 	}
 }
 
-// Run advances the emulation to absolute virtual time t (seconds).
-func (e *Emulation) Run(t float64) { e.Engine.Run(t) }
+// Run advances the emulation to absolute virtual time t (seconds). A
+// sharded emulation advances every domain engine through the
+// conservative-window coordinator.
+func (e *Emulation) Run(t float64) {
+	if e.sh != nil {
+		e.sh.Run(t)
+		return
+	}
+	e.Engine.Run(t)
+}
 
 // SetLinkCapacity mutates link l's capacity at the current virtual time —
 // the scenario-engine hook behind link failure (c = 0), recovery and
@@ -341,6 +412,17 @@ func (e *Emulation) Run(t float64) { e.Engine.Run(t) }
 // when samples stop arriving (linkest.Estimator.Failed, within the
 // failure timeout), a capacity change when the noisy samples move.
 func (e *Emulation) SetLinkCapacity(l graph.LinkID, c float64) {
+	if e.doms != nil {
+		// Dispatch to the owning domain (whose clone is the live ground
+		// truth) and mirror into the top-level network, so external
+		// readers keep seeing one consistent capacity map. Concurrent
+		// domain goroutines only ever touch their own links, so the
+		// mirror writes are element-disjoint.
+		d := e.doms[e.linkDom[l]]
+		d.SetLinkCapacity(l, c)
+		e.Net.Link(l).Capacity = d.Net.Link(l).Capacity
+		return
+	}
 	if c < 0 {
 		c = 0
 	}
@@ -351,7 +433,7 @@ func (e *Emulation) SetLinkCapacity(l graph.LinkID, c float64) {
 	wasDead := link.Capacity <= 0
 	link.Capacity = c
 	e.MAC.LinkChanged(l)
-	if e.cfg.Estimation && wasDead && c > 0 {
+	if e.cfg.Estimation && wasDead && c > 0 && e.Agents[link.From] != nil {
 		if est := e.Agents[link.From].est[l]; est != nil {
 			// The estimator starved while the link was down; the probe
 			// tick only samples ModeProbe links, so switch back explicitly
@@ -385,7 +467,10 @@ func deliverPrice(arg any) {
 func (e *Emulation) broadcastPrice(from graph.NodeID, f *wire.PriceFrame) {
 	e.priceBuf = f.AppendBinary(e.priceBuf[:0])
 	for _, a := range e.Agents {
-		if a.id == from {
+		if a == nil || a.id == from {
+			// Foreign nodes of a domain sub-emulation have no agent here;
+			// they are never in earshot anyway (earshot is an interference
+			// relation, and interference never crosses a domain).
 			continue
 		}
 		if !e.Net.Node(a.id).HasTech(f.Tech) && !hasIngress(e.Net, a.id, f.Tech) {
@@ -437,6 +522,13 @@ func hasIngress(net *graph.Network, id graph.NodeID, tech graph.Tech) bool {
 func (e *Emulation) linkEstimate(l graph.LinkID) float64 {
 	if e.cfg.Estimation {
 		a := e.Agents[e.Net.Link(l).From]
+		if a == nil {
+			// A foreign link of a domain sub-emulation: no local estimator.
+			// Fall back to the domain clone's (frozen) capacity — routing
+			// inside the domain can never use a foreign link, so the value
+			// only feeds aggregate signals.
+			return e.Net.Link(l).Capacity
+		}
 		if est := a.est[l]; est != nil {
 			if est.Failed(e.Engine.Now()) {
 				// Samples stopped arriving: the link is down (§6.1's

@@ -96,6 +96,12 @@ func (e *Emulation) AddFlow(spec FlowSpec, startAt float64) (*Flow, error) {
 	if len(spec.Routes) == 0 {
 		return nil, fmt.Errorf("node: flow needs at least one route")
 	}
+	if e.doms != nil {
+		// A flow lives entirely inside its source's interference domain:
+		// there are no cross-domain links, so route validation in the
+		// sub-emulation rejects anything else naturally.
+		return e.doms[e.nodeDom[spec.Src]].AddFlow(spec, startAt)
+	}
 	f := &Flow{
 		ID:     uint16(len(e.flows) + 1),
 		Src:    spec.Src,

@@ -57,6 +57,11 @@ type SelectFn func(view *graph.Network, src, dst graph.NodeID) []graph.Path
 
 // ManageRoutes starts periodic route maintenance for a flow.
 func (e *Emulation) ManageRoutes(f *Flow, cfg routing.Config) *RouteManager {
+	if f.em != e {
+		// Sharded dispatch: the manager's periodic checks must run on the
+		// engine of the domain that owns the flow.
+		return f.em.ManageRoutes(f, cfg)
+	}
 	m := &RouteManager{em: e, flow: f, cfg: cfg, Threshold: 0.3, Interval: 2}
 	view := e.EstimatedNetwork()
 	m.lastTotal = m.currentTotal(view)

@@ -39,7 +39,10 @@ type Options struct {
 	// sweeps legitimately run scenarios on views that lack some links
 	// (a PLC flap has nothing to kill on a WiFi-only view).
 	Strict bool
-	// OnEvent, when set, observes every applied event (for logs).
+	// OnEvent, when set, observes every applied event (for logs). On a
+	// sharded emulation it is called from the owning domain's worker
+	// goroutine, so a sharded run's observer must be safe for concurrent
+	// calls.
 	OnEvent func(ev Event)
 }
 
@@ -90,24 +93,57 @@ type Transition struct {
 }
 
 // Runtime is a scenario bound to a running emulation.
+//
+// The runtime mirrors the emulation's domain decomposition: all state an
+// event handler mutates — flow records, failure windows, transitions,
+// departed-node links — lives in per-domain substates, because on a
+// sharded emulation the handlers of different domains run on different
+// worker goroutines. The classic single-engine emulation is simply the
+// one-domain case running the identical code path. The exported
+// observation fields (Transitions, Failures, SkippedFlows) are merged
+// deterministically from the domains by Finish.
 type Runtime struct {
 	Scenario *Scenario
 	Em       *node.Emulation
 
-	opts  Options
-	flows map[string]*FlowRecord
-	order []string // flow names in creation order (deterministic iteration)
+	opts Options
+	doms []*rtDomain
+	// flowDom maps every flow name known at bind time to its owning
+	// domain (the source node's domain). Read-only during the run.
+	flowDom map[string]int
 
-	base  []float64 // capacities at bind time, by LinkID
-	saved []float64 // capacity before the last fail, by LinkID
-	left  map[graph.NodeID][]graph.LinkID
+	// base and saved are indexed by LinkID and shared across domains:
+	// every handler only touches its own domain's links, so the element
+	// writes are disjoint.
+	base  []float64 // capacities at bind time
+	saved []float64 // capacity before the last fail
 
-	// Unresolved lists events dropped because a reference didn't resolve
-	// (lenient mode). SkippedFlows lists flows that found no routes.
+	// Unresolved lists events dropped at bind time because a reference
+	// didn't resolve (lenient mode). The remaining observation fields are
+	// rebuilt by Finish (which Run calls): Transitions and Failures merge
+	// the per-domain records in time order (ties in domain order),
+	// SkippedFlows lists flows that found no routes.
 	Unresolved   []string
 	SkippedFlows []string
 	Transitions  []Transition
 	Failures     []*Failure
+}
+
+// rtDomain is the per-domain slice of the runtime: the state the owning
+// domain's event handlers mutate, plus the domain's sub-emulation (whose
+// engine the domain's timeline rides on). In the one-domain case em is
+// the emulation itself.
+type rtDomain struct {
+	rt *Runtime
+	em *node.Emulation
+
+	flows map[string]*FlowRecord
+	order []string // flow names in creation order (deterministic iteration)
+	left  map[graph.NodeID][]graph.LinkID
+
+	skipped     []string
+	transitions []Transition
+	failures    []*Failure
 }
 
 // boundEvent is an event with its references resolved at bind time.
@@ -121,9 +157,10 @@ type boundEvent struct {
 
 // Bind expands the scenario's processes with the given seed, resolves
 // every reference against the emulation's network, and schedules the
-// whole timeline on the emulation's engine. The emulation must be at
-// virtual time 0. Run the result with Runtime.Run (or advance the
-// emulation manually and call Finish at the end).
+// whole timeline on the emulation's engines — each event on the engine
+// of the domain that owns its link, node or flow source. The emulation
+// must be at virtual time 0. Run the result with Runtime.Run (or advance
+// the emulation manually and call Finish at the end).
 func Bind(em *node.Emulation, sc *Scenario, seed int64, opts Options) (*Runtime, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
@@ -132,8 +169,7 @@ func Bind(em *node.Emulation, sc *Scenario, seed int64, opts Options) (*Runtime,
 		Scenario: sc,
 		Em:       em,
 		opts:     opts,
-		flows:    map[string]*FlowRecord{},
-		left:     map[graph.NodeID][]graph.LinkID{},
+		flowDom:  map[string]int{},
 		base:     make([]float64, em.Net.NumLinks()),
 		saved:    make([]float64, em.Net.NumLinks()),
 	}
@@ -141,17 +177,29 @@ func Bind(em *node.Emulation, sc *Scenario, seed int64, opts Options) (*Runtime,
 		rt.base[l] = em.Net.Link(graph.LinkID(l)).Capacity
 		rt.saved[l] = rt.base[l]
 	}
+	rt.doms = make([]*rtDomain, em.NumDomains())
+	for i := range rt.doms {
+		rt.doms[i] = &rtDomain{
+			rt:    rt,
+			em:    em.Domain(i),
+			flows: map[string]*FlowRecord{},
+			left:  map[graph.NodeID][]graph.LinkID{},
+		}
+	}
 
 	for i := range sc.Flows {
 		spec := sc.Flows[i]
-		if _, err := rt.bindFlowSpec(&spec); err != nil {
+		src, err := rt.bindFlowSpec(&spec)
+		if err != nil {
 			if opts.Strict {
 				return nil, err
 			}
 			rt.Unresolved = append(rt.Unresolved, err.Error())
 			continue
 		}
-		em.Engine.At(spec.Start, func() { rt.startFlow(spec) })
+		d := rt.domainOfNode(src)
+		rt.flowDom[spec.Name] = d.index()
+		d.em.Engine.At(spec.Start, func() { d.startFlow(spec) })
 	}
 
 	events := append([]Event(nil), sc.Events...)
@@ -173,24 +221,56 @@ func Bind(em *node.Emulation, sc *Scenario, seed int64, opts Options) (*Runtime,
 			rt.Unresolved = append(rt.Unresolved, err.Error())
 			continue
 		}
-		bound = append(bound, timelineEvent{rt: rt, be: be})
+		bound = append(bound, timelineEvent{d: rt.eventDomain(be), be: be})
 	}
 	for i := range bound {
-		em.Engine.AtFunc(bound[i].be.At, applyTimelineEvent, &bound[i])
+		bound[i].d.em.Engine.AtFunc(bound[i].be.At, applyTimelineEvent, &bound[i])
 	}
 	return rt, nil
 }
 
-// timelineEvent pairs a bound event with its runtime for the
+func (d *rtDomain) index() int {
+	for i, dd := range d.rt.doms {
+		if dd == d {
+			return i
+		}
+	}
+	return 0
+}
+
+func (rt *Runtime) domainOfNode(n graph.NodeID) *rtDomain {
+	return rt.doms[rt.Em.NodeDomain(n)]
+}
+
+// eventDomain routes a bound event to the domain owning its subject:
+// link events by the link, node events by the node, flow starts by the
+// source, flow stops by the flow's bind-time domain (unknown names fall
+// to domain 0, where the stop is a no-op, exactly as an unknown name was
+// before).
+func (rt *Runtime) eventDomain(be boundEvent) *rtDomain {
+	switch be.Kind {
+	case LinkFail, LinkRecover, SetCapacity, ScaleCapacity:
+		return rt.doms[rt.Em.LinkDomain(be.links[0])]
+	case NodeLeave, NodeJoin:
+		return rt.domainOfNode(be.node)
+	case FlowStart:
+		return rt.domainOfNode(be.src)
+	case FlowStop:
+		return rt.doms[rt.flowDom[be.FlowName]]
+	}
+	return rt.doms[0]
+}
+
+// timelineEvent pairs a bound event with its owning domain for the
 // closure-free timeline scheduling.
 type timelineEvent struct {
-	rt *Runtime
+	d  *rtDomain
 	be boundEvent
 }
 
 func applyTimelineEvent(arg any) {
 	ev := arg.(*timelineEvent)
-	ev.rt.apply(ev.be)
+	ev.d.apply(ev.be)
 }
 
 // Run advances the emulation to the scenario's duration and closes the
@@ -200,24 +280,72 @@ func (rt *Runtime) Run() {
 	rt.Finish()
 }
 
-// Finish closes open failure windows at the current virtual time. Run
-// calls it; callers driving the emulation themselves call it once at the
-// end.
+// Finish closes open failure windows at the current virtual time and
+// merges the per-domain observations into the exported fields. Run calls
+// it; callers driving the emulation themselves call it once at the end.
+// It is idempotent (the merge rebuilds from the domain records).
 func (rt *Runtime) Finish() {
-	now := rt.Em.Engine.Now()
-	for _, f := range rt.Failures {
-		if f.RecoveredAt == 0 {
-			f.RecoveredAt = now
+	for _, d := range rt.doms {
+		now := d.em.Engine.Now()
+		for _, f := range d.failures {
+			if f.RecoveredAt == 0 {
+				f.RecoveredAt = now
+			}
 		}
 	}
+	rt.merge()
+}
+
+// merge rebuilds the exported observation fields from the per-domain
+// records: concatenated in domain order, then stably sorted by time.
+// Within a domain the records are already time-ordered (virtual time is
+// monotone), so for a single domain the merge is the identity and the
+// fields read exactly as the classic engine always produced them; across
+// domains the (time, domain) order is a pure function of the scenario
+// and seed — never of shard or worker counts.
+func (rt *Runtime) merge() {
+	rt.Transitions = rt.Transitions[:0]
+	rt.Failures = rt.Failures[:0]
+	rt.SkippedFlows = rt.SkippedFlows[:0]
+	for _, d := range rt.doms {
+		rt.Transitions = append(rt.Transitions, d.transitions...)
+		rt.Failures = append(rt.Failures, d.failures...)
+		rt.SkippedFlows = append(rt.SkippedFlows, d.skipped...)
+	}
+	sort.SliceStable(rt.Transitions, func(i, j int) bool { return rt.Transitions[i].At < rt.Transitions[j].At })
+	sort.SliceStable(rt.Failures, func(i, j int) bool { return rt.Failures[i].At < rt.Failures[j].At })
 }
 
 // Flow returns the runtime record of a named flow (nil if it never
 // started).
-func (rt *Runtime) Flow(name string) *FlowRecord { return rt.flows[name] }
+func (rt *Runtime) Flow(name string) *FlowRecord {
+	for _, d := range rt.doms {
+		if rec := d.flows[name]; rec != nil {
+			return rec
+		}
+	}
+	return nil
+}
 
-// FlowNames lists the started flows in creation order.
-func (rt *Runtime) FlowNames() []string { return append([]string(nil), rt.order...) }
+// FlowNames lists the started flows in creation order (across domains:
+// by start time, ties in domain order).
+func (rt *Runtime) FlowNames() []string {
+	if len(rt.doms) == 1 {
+		return append([]string(nil), rt.doms[0].order...)
+	}
+	var names []string
+	for _, d := range rt.doms {
+		names = append(names, d.order...)
+	}
+	starts := map[string]float64{}
+	for _, d := range rt.doms {
+		for name, rec := range d.flows {
+			starts[name] = rec.StartedAt
+		}
+	}
+	sort.SliceStable(names, func(i, j int) bool { return starts[names[i]] < starts[names[j]] })
+	return names
+}
 
 // bindEvent resolves an event's references.
 func (rt *Runtime) bindEvent(ev Event) (boundEvent, error) {
@@ -230,8 +358,11 @@ func (rt *Runtime) bindEvent(ev Event) (boundEvent, error) {
 		be.node, err = resolveNode(rt.Em.Net, ev.Node)
 	case FlowStart:
 		spec := *ev.Flow
-		_, err = rt.bindFlowSpec(&spec)
+		be.src, err = rt.bindFlowSpec(&spec)
 		be.Flow = &spec
+		if err == nil {
+			rt.flowDom[spec.Name] = rt.Em.NodeDomain(be.src)
+		}
 	case FlowStop:
 		// Resolution happens at apply time (the flow may not exist yet).
 	}
@@ -239,145 +370,158 @@ func (rt *Runtime) bindEvent(ev Event) (boundEvent, error) {
 }
 
 // bindFlowSpec resolves a flow's endpoints (mutating the spec is safe:
-// every caller works on its own copy).
-func (rt *Runtime) bindFlowSpec(spec *FlowSpec) (*FlowSpec, error) {
-	if _, err := resolveNode(rt.Em.Net, spec.Src); err != nil {
-		return nil, fmt.Errorf("scenario: flow %q: %w", spec.Name, err)
+// every caller works on its own copy) and returns the source node, which
+// decides the owning domain.
+func (rt *Runtime) bindFlowSpec(spec *FlowSpec) (graph.NodeID, error) {
+	src, err := resolveNode(rt.Em.Net, spec.Src)
+	if err != nil {
+		return 0, fmt.Errorf("scenario: flow %q: %w", spec.Name, err)
 	}
 	if _, err := resolveNode(rt.Em.Net, spec.Dst); err != nil {
-		return nil, fmt.Errorf("scenario: flow %q: %w", spec.Name, err)
+		return 0, fmt.Errorf("scenario: flow %q: %w", spec.Name, err)
 	}
-	return spec, nil
+	return src, nil
 }
 
-// apply executes one event at its scheduled virtual time.
-func (rt *Runtime) apply(be boundEvent) {
-	if rt.opts.OnEvent != nil {
-		rt.opts.OnEvent(be.Event)
+// apply executes one event at its scheduled virtual time, on the owning
+// domain's engine.
+func (d *rtDomain) apply(be boundEvent) {
+	if d.rt.opts.OnEvent != nil {
+		d.rt.opts.OnEvent(be.Event)
 	}
 	switch be.Kind {
 	case LinkFail:
-		rt.fail(be.links)
+		d.fail(be.links)
 	case LinkRecover:
-		rt.recoverLinks(be.links)
+		d.recoverLinks(be.links)
 	case SetCapacity:
-		rt.setCapacities(be.Kind, be.links, be.Capacity)
+		d.setCapacities(be.Kind, be.links, be.Capacity)
 	case ScaleCapacity:
 		for _, l := range be.links {
 			// Drift rides on a live link: a link that failed (flap,
 			// node-leave) stays dead until its own recovery event —
 			// a drift step must not resurrect it, nor close its
 			// failure window as a spurious recovery.
-			if rt.Em.Net.Link(l).Capacity <= 0 {
+			if d.em.Net.Link(l).Capacity <= 0 {
 				continue
 			}
-			rt.setCapacity(be.Kind, l, rt.base[l]*be.Factor)
+			d.setCapacity(be.Kind, l, d.rt.base[l]*be.Factor)
 		}
 	case NodeLeave:
-		links := rt.nodeLinks(be.node)
-		rt.left[be.node] = links
-		rt.fail(links)
+		links := d.nodeLinks(be.node)
+		d.left[be.node] = links
+		d.fail(links)
 	case NodeJoin:
-		rt.recoverLinks(rt.left[be.node])
-		delete(rt.left, be.node)
+		d.recoverLinks(d.left[be.node])
+		delete(d.left, be.node)
 	case FlowStart:
-		rt.startFlow(*be.Flow)
+		d.startFlow(*be.Flow)
 	case FlowStop:
-		rt.stopFlow(be.FlowName)
+		d.stopFlow(be.FlowName)
 	}
+}
+
+// setLinkCapacity mutates a domain-owned link's ground truth through the
+// top-level emulation, which dispatches into the owning domain's network
+// clone and mirrors the value into the shared top-level network (an
+// element-disjoint write: no other domain touches this link).
+func (d *rtDomain) setLinkCapacity(l graph.LinkID, c float64) {
+	d.rt.Em.SetLinkCapacity(l, c)
 }
 
 // fail kills links (saving their capacities) and opens failure windows
 // for the flows whose current routes traverse them.
-func (rt *Runtime) fail(links []graph.LinkID) {
-	now := rt.Em.Engine.Now()
+func (d *rtDomain) fail(links []graph.LinkID) {
+	now := d.em.Engine.Now()
 	var killed []graph.LinkID
 	for _, l := range links {
-		if c := rt.Em.Net.Link(l).Capacity; c > 0 {
-			rt.saved[l] = c
-			rt.Em.SetLinkCapacity(l, 0)
-			rt.Transitions = append(rt.Transitions, Transition{At: now, Kind: LinkFail, Link: l})
+		if c := d.em.Net.Link(l).Capacity; c > 0 {
+			d.rt.saved[l] = c
+			d.setLinkCapacity(l, 0)
+			d.transitions = append(d.transitions, Transition{At: now, Kind: LinkFail, Link: l})
 			killed = append(killed, l)
 		}
 	}
-	rt.openFailures(killed, now)
+	d.openFailures(killed, now)
 }
 
 // recoverLinks restores dead links to their pre-failure capacity and
 // closes the matching failure windows.
-func (rt *Runtime) recoverLinks(links []graph.LinkID) {
-	now := rt.Em.Engine.Now()
+func (d *rtDomain) recoverLinks(links []graph.LinkID) {
+	now := d.em.Engine.Now()
 	for _, l := range links {
-		if rt.Em.Net.Link(l).Capacity <= 0 {
-			c := rt.saved[l]
+		if d.em.Net.Link(l).Capacity <= 0 {
+			c := d.rt.saved[l]
 			if c <= 0 {
-				c = rt.base[l]
+				c = d.rt.base[l]
 			}
-			rt.Em.SetLinkCapacity(l, c)
-			rt.Transitions = append(rt.Transitions, Transition{At: now, Kind: LinkRecover, Link: l, Capacity: c})
+			d.setLinkCapacity(l, c)
+			d.transitions = append(d.transitions, Transition{At: now, Kind: LinkRecover, Link: l, Capacity: c})
 		}
 	}
-	rt.closeFailures(links, now)
+	d.closeFailures(links, now)
 }
 
-func (rt *Runtime) setCapacities(kind EventKind, links []graph.LinkID, c float64) {
+func (d *rtDomain) setCapacities(kind EventKind, links []graph.LinkID, c float64) {
 	for _, l := range links {
-		rt.setCapacity(kind, l, c)
+		d.setCapacity(kind, l, c)
 	}
 }
 
 // setCapacity applies an arbitrary capacity change, treating a
 // transition through zero as a failure/recovery for the measurement
 // windows.
-func (rt *Runtime) setCapacity(kind EventKind, l graph.LinkID, c float64) {
-	now := rt.Em.Engine.Now()
-	was := rt.Em.Net.Link(l).Capacity
+func (d *rtDomain) setCapacity(kind EventKind, l graph.LinkID, c float64) {
+	now := d.em.Engine.Now()
+	was := d.em.Net.Link(l).Capacity
 	if was == c {
 		return
 	}
 	if c <= 0 && was > 0 {
-		rt.saved[l] = was
+		d.rt.saved[l] = was
 	}
-	rt.Em.SetLinkCapacity(l, c)
-	rt.Transitions = append(rt.Transitions, Transition{At: now, Kind: kind, Link: l, Capacity: c})
+	d.setLinkCapacity(l, c)
+	d.transitions = append(d.transitions, Transition{At: now, Kind: kind, Link: l, Capacity: c})
 	if c <= 0 && was > 0 {
-		rt.openFailures([]graph.LinkID{l}, now)
+		d.openFailures([]graph.LinkID{l}, now)
 	} else if c > 0 && was <= 0 {
-		rt.closeFailures([]graph.LinkID{l}, now)
+		d.closeFailures([]graph.LinkID{l}, now)
 	}
 }
 
 // nodeLinks returns the node's live links (both directions).
-func (rt *Runtime) nodeLinks(n graph.NodeID) []graph.LinkID {
+func (d *rtDomain) nodeLinks(n graph.NodeID) []graph.LinkID {
 	var out []graph.LinkID
-	for _, l := range rt.Em.Net.Out(n) {
-		if rt.Em.Net.Link(l).Capacity > 0 {
+	for _, l := range d.em.Net.Out(n) {
+		if d.em.Net.Link(l).Capacity > 0 {
 			out = append(out, l)
 		}
 	}
-	for _, l := range rt.Em.Net.In(n) {
-		if rt.Em.Net.Link(l).Capacity > 0 {
+	for _, l := range d.em.Net.In(n) {
+		if d.em.Net.Link(l).Capacity > 0 {
 			out = append(out, l)
 		}
 	}
 	return out
 }
 
-// openFailures records a failure window for every running flow whose
-// current routes use one of the killed links. A flow with an open window
-// is not re-registered: overlapping failures measure as one episode.
-func (rt *Runtime) openFailures(killed []graph.LinkID, now float64) {
+// openFailures records a failure window for every running flow of this
+// domain whose current routes use one of the killed links (a killed link
+// can only be routed by its own domain's flows). A flow with an open
+// window is not re-registered: overlapping failures measure as one
+// episode.
+func (d *rtDomain) openFailures(killed []graph.LinkID, now float64) {
 	if len(killed) == 0 {
 		return
 	}
 	open := map[string]bool{}
-	for _, f := range rt.Failures {
+	for _, f := range d.failures {
 		if f.RecoveredAt == 0 {
 			open[f.Flow] = true
 		}
 	}
-	for _, name := range rt.order {
-		rec := rt.flows[name]
+	for _, name := range d.order {
+		rec := d.flows[name]
 		if rec.StoppedAt > 0 || open[name] {
 			continue
 		}
@@ -392,14 +536,14 @@ func (rt *Runtime) openFailures(killed []graph.LinkID, now float64) {
 			}
 		}
 		if len(hit) > 0 {
-			rt.Failures = append(rt.Failures, &Failure{Flow: name, Links: hit, At: now})
+			d.failures = append(d.failures, &Failure{Flow: name, Links: hit, At: now})
 		}
 	}
 }
 
 // closeFailures ends the windows of failures involving a recovered link.
-func (rt *Runtime) closeFailures(links []graph.LinkID, now float64) {
-	for _, f := range rt.Failures {
+func (d *rtDomain) closeFailures(links []graph.LinkID, now float64) {
+	for _, f := range d.failures {
 		if f.RecoveredAt != 0 {
 			continue
 		}
@@ -415,70 +559,70 @@ func (rt *Runtime) closeFailures(links []graph.LinkID, now float64) {
 }
 
 // startFlow computes routes and starts a flow at the current virtual
-// time. Routes are computed on the network as it now is (failed links
-// have zero capacity and are avoided); a flow with no routes is recorded
-// in SkippedFlows, as a blocked arrival would be.
-func (rt *Runtime) startFlow(spec FlowSpec) {
-	now := rt.Em.Engine.Now()
-	if rt.flows[spec.Name] != nil {
+// time. Routes are computed on the domain's network as it now is (failed
+// links have zero capacity and are avoided); a flow with no routes is
+// recorded in SkippedFlows, as a blocked arrival would be.
+func (d *rtDomain) startFlow(spec FlowSpec) {
+	now := d.em.Engine.Now()
+	if d.flows[spec.Name] != nil {
 		// Validate catches duplicates among scripted flows; this guards
 		// the remaining hole (a scripted name colliding with a generated
 		// arrival name) so measurements never double-count a record.
-		rt.SkippedFlows = append(rt.SkippedFlows, spec.Name)
+		d.skipped = append(d.skipped, spec.Name)
 		return
 	}
-	src, err1 := resolveNode(rt.Em.Net, spec.Src)
-	dst, err2 := resolveNode(rt.Em.Net, spec.Dst)
+	src, err1 := resolveNode(d.em.Net, spec.Src)
+	dst, err2 := resolveNode(d.em.Net, spec.Dst)
 	if err1 != nil || err2 != nil {
-		rt.SkippedFlows = append(rt.SkippedFlows, spec.Name)
+		d.skipped = append(d.skipped, spec.Name)
 		return
 	}
-	routes := rt.opts.routes()(rt.Em.Net, src, dst)
-	if max := rt.opts.MaxRoutes; max > 0 && len(routes) > max {
+	routes := d.rt.opts.routes()(d.em.Net, src, dst)
+	if max := d.rt.opts.MaxRoutes; max > 0 && len(routes) > max {
 		routes = routes[:max]
 	}
 	if max := spec.MaxRoutes; max > 0 && len(routes) > max {
 		routes = routes[:max]
 	}
 	if len(routes) == 0 {
-		rt.SkippedFlows = append(rt.SkippedFlows, spec.Name)
+		d.skipped = append(d.skipped, spec.Name)
 		return
 	}
 	kind := node.TrafficSaturated
 	if spec.Kind == "file" {
 		kind = node.TrafficFile
 	}
-	f, err := rt.Em.AddFlow(node.FlowSpec{
+	f, err := d.em.AddFlow(node.FlowSpec{
 		Src: src, Dst: dst, Routes: routes, Kind: kind, FileBytes: spec.FileBytes,
 	}, now)
 	if err != nil {
-		rt.SkippedFlows = append(rt.SkippedFlows, spec.Name)
+		d.skipped = append(d.skipped, spec.Name)
 		return
 	}
 	rec := &FlowRecord{Spec: spec, Flow: f, Src: src, Dst: dst, StartedAt: now}
-	if rt.opts.ManageRoutes {
-		rec.Mgr = rt.Em.ManageRoutes(f, rt.opts.routingConfig())
+	if d.rt.opts.ManageRoutes {
+		rec.Mgr = d.em.ManageRoutes(f, d.rt.opts.routingConfig())
 		// Reroutes re-run the same selection the flow started with, so
 		// scheme semantics survive maintenance (a single-path scheme's
 		// manager recomputes a single path).
-		rec.Mgr.Select = node.SelectFn(rt.opts.routes())
-		rec.Mgr.EnableFastFailover(rt.opts.FastFailover)
+		rec.Mgr.Select = node.SelectFn(d.rt.opts.routes())
+		rec.Mgr.EnableFastFailover(d.rt.opts.FastFailover)
 	}
-	rt.flows[spec.Name] = rec
-	rt.order = append(rt.order, spec.Name)
+	d.flows[spec.Name] = rec
+	d.order = append(d.order, spec.Name)
 	if spec.Stop > now {
 		name := spec.Name
-		rt.Em.Engine.At(spec.Stop, func() { rt.stopFlow(name) })
+		d.em.Engine.At(spec.Stop, func() { d.stopFlow(name) })
 	}
 }
 
 // stopFlow halts a running flow (and its route manager).
-func (rt *Runtime) stopFlow(name string) {
-	rec := rt.flows[name]
+func (d *rtDomain) stopFlow(name string) {
+	rec := d.flows[name]
 	if rec == nil || rec.StoppedAt > 0 {
 		return
 	}
-	rec.StoppedAt = rt.Em.Engine.Now()
+	rec.StoppedAt = d.em.Engine.Now()
 	rec.Flow.Stop()
 	if rec.Mgr != nil {
 		rec.Mgr.Stop()
@@ -488,9 +632,11 @@ func (rt *Runtime) stopFlow(name string) {
 // Reroutes sums the route swaps across all managed flows.
 func (rt *Runtime) Reroutes() int {
 	n := 0
-	for _, name := range rt.order {
-		if rec := rt.flows[name]; rec.Mgr != nil {
-			n += rec.Mgr.Reroutes
+	for _, d := range rt.doms {
+		for _, name := range d.order {
+			if rec := d.flows[name]; rec.Mgr != nil {
+				n += rec.Mgr.Reroutes
+			}
 		}
 	}
 	return n
@@ -504,7 +650,7 @@ func (rt *Runtime) sink(rec *FlowRecord) *node.Sink {
 // FlowGoodput returns the delivered goodput (Mbps) of a named flow over
 // [from, to].
 func (rt *Runtime) FlowGoodput(name string, from, to float64) float64 {
-	rec := rt.flows[name]
+	rec := rt.Flow(name)
 	if rec == nil {
 		return 0
 	}
@@ -515,8 +661,10 @@ func (rt *Runtime) FlowGoodput(name string, from, to float64) float64 {
 // flows, in Mbps averaged over the scenario duration.
 func (rt *Runtime) AggregateGoodput() float64 {
 	var bits float64
-	for _, name := range rt.order {
-		bits += float64(rt.sink(rt.flows[name]).TotalBytes) * 8
+	for _, d := range rt.doms {
+		for _, name := range d.order {
+			bits += float64(rt.sink(d.flows[name]).TotalBytes) * 8
+		}
 	}
 	if rt.Scenario.Duration <= 0 {
 		return 0
@@ -546,7 +694,7 @@ func (rt *Runtime) FailoverLatencies(bin, frac float64) (latencies []float64, ce
 		frac = 0.8
 	}
 	for _, f := range rt.Failures {
-		rec := rt.flows[f.Flow]
+		rec := rt.Flow(f.Flow)
 		if rec == nil || f.RecoveredAt <= f.At {
 			continue
 		}
@@ -595,7 +743,7 @@ func (rt *Runtime) FailoverLatencies(bin, frac float64) (latencies []float64, ce
 func (rt *Runtime) DegradedGoodput() []float64 {
 	var out []float64
 	for _, f := range rt.Failures {
-		rec := rt.flows[f.Flow]
+		rec := rt.Flow(f.Flow)
 		if rec == nil || f.RecoveredAt <= f.At {
 			continue
 		}

@@ -176,11 +176,11 @@ func TestPoissonArrivalsDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	rt.Run()
-	if len(rt.order) != len(e1) {
-		t.Fatalf("started %d flows, expansion had %d arrivals", len(rt.order), len(e1))
+	if len(rt.FlowNames()) != len(e1) {
+		t.Fatalf("started %d flows, expansion had %d arrivals", len(rt.FlowNames()), len(e1))
 	}
 	stopped := 0
-	for _, name := range rt.order {
+	for _, name := range rt.FlowNames() {
 		if rt.Flow(name).StoppedAt > 0 {
 			stopped++
 		}

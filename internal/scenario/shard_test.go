@@ -1,0 +1,134 @@
+package scenario
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/node"
+)
+
+// clustersFingerprint runs the shipped multi-cluster scenario end to end
+// at a shard count and folds every observable output — transitions,
+// failure windows, per-flow goodput, failover measurement, reroutes —
+// into a string.
+func clustersFingerprint(t *testing.T, shards int) string {
+	t.Helper()
+	sc, err := Load("../../examples/scenarios/clusters.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if testing.Short() {
+		sc.Duration = 25
+	}
+	net, err := sc.Topology.Build(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := node.NewEmulation(net, node.Config{
+		Estimation: true, ExpectedDuration: sc.Duration, Shards: shards,
+	}, 9)
+	rt, err := Bind(em, sc, 41, Options{ManageRoutes: true, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Run()
+
+	out := ""
+	for _, tr := range rt.Transitions {
+		out += fmt.Sprintf("tr at=%.9f kind=%v link=%d cap=%g\n", tr.At, tr.Kind, tr.Link, tr.Capacity)
+	}
+	for _, f := range rt.Failures {
+		out += fmt.Sprintf("fail flow=%s at=%.9f rec=%.9f links=%v\n", f.Flow, f.At, f.RecoveredAt, f.Links)
+	}
+	for _, name := range rt.FlowNames() {
+		out += fmt.Sprintf("flow %s goodput=%.9f\n", name, rt.FlowGoodput(name, 0, sc.Duration))
+	}
+	lat, cens := rt.FailoverLatencies(0.2, 0.8)
+	out += fmt.Sprintf("latencies=%v censored=%d reroutes=%d skipped=%v agg=%.9f\n",
+		lat, cens, rt.Reroutes(), rt.SkippedFlows, rt.AggregateGoodput())
+	return out
+}
+
+// TestScenarioShardedDeterminism is the tentpole contract at the
+// scenario layer: the shipped multi-cluster scenario decomposes into
+// four interference domains, and the complete run — event timeline,
+// failure windows, goodput, failover measurement — is bit-identical at
+// shards 1, 2 and 4.
+func TestScenarioShardedDeterminism(t *testing.T) {
+	// Confirm the example really exercises the sharded engine.
+	sc, err := Load("../../examples/scenarios/clusters.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := sc.Topology.Build(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := node.NewEmulation(net, node.Config{Shards: 4}, 9)
+	if !em.Sharded() || em.NumDomains() != 4 {
+		t.Fatalf("clusters.json: sharded=%v domains=%d, want true/4", em.Sharded(), em.NumDomains())
+	}
+
+	ref := clustersFingerprint(t, 1)
+	for _, shards := range []int{2, 4} {
+		if got := clustersFingerprint(t, shards); got != ref {
+			t.Fatalf("shards=%d diverged from shards=1:\n--- shards=1\n%s--- shards=%d\n%s", shards, ref, shards, got)
+		}
+	}
+}
+
+// TestShardedMatchesSingleEngine pins the fallback side of the
+// contract, in the spirit of TestPoolMatchesNaiveReference: on the
+// shipped flaps scenario — a connected topology, hence one interference
+// domain — any Shards value runs the classic engine, and the scenario
+// trajectory matches the Shards=0 reference event for event.
+func TestShardedMatchesSingleEngine(t *testing.T) {
+	run := func(shards int) (*Runtime, *node.Emulation) {
+		sc, err := Load("../../examples/scenarios/flaps.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if testing.Short() {
+			sc.Duration = 30
+		}
+		net, err := sc.Topology.Build(11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		em := node.NewEmulation(net, node.Config{
+			Estimation: true, ExpectedDuration: sc.Duration, Shards: shards,
+		}, 13)
+		rt, err := Bind(em, sc, 17, Options{ManageRoutes: true, Strict: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt.Run()
+		return rt, em
+	}
+	ref, _ := run(0)
+	got, em := run(4)
+	if em.Sharded() {
+		t.Fatal("flaps.json topology is connected; it must fall back to the classic engine")
+	}
+	if len(got.Transitions) != len(ref.Transitions) {
+		t.Fatalf("transition count %d != reference %d", len(got.Transitions), len(ref.Transitions))
+	}
+	for i := range ref.Transitions {
+		if got.Transitions[i] != ref.Transitions[i] {
+			t.Fatalf("transition %d: %+v != reference %+v", i, got.Transitions[i], ref.Transitions[i])
+		}
+	}
+	if len(got.Failures) != len(ref.Failures) {
+		t.Fatalf("failure count %d != reference %d", len(got.Failures), len(ref.Failures))
+	}
+	for i := range ref.Failures {
+		g, r := got.Failures[i], ref.Failures[i]
+		if g.Flow != r.Flow || g.At != r.At || g.RecoveredAt != r.RecoveredAt || !reflect.DeepEqual(g.Links, r.Links) {
+			t.Fatalf("failure %d: %+v != reference %+v", i, g, r)
+		}
+	}
+	if g, r := got.AggregateGoodput(), ref.AggregateGoodput(); g != r {
+		t.Fatalf("aggregate goodput %v != reference %v", g, r)
+	}
+}

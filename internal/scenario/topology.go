@@ -23,6 +23,14 @@ type TopologySpec struct {
 	// Nodes and Links describe a custom topology (Kind "custom").
 	Nodes []NodeSpec `json:"nodes,omitempty"`
 	Links []LinkSpec `json:"links,omitempty"`
+	// SenseRadius switches a custom topology from the default
+	// single-domain-per-tech interference model to the range-based one:
+	// two same-tech links interfere only when their endpoints come within
+	// the tech's radius (metres). Techs absent from the map keep an
+	// infinite radius. Spatially separated clusters then fall into
+	// independent interference domains, which the sharded emulation
+	// engine (-shards) exploits.
+	SenseRadius map[string]float64 `json:"sense_radius,omitempty"`
 }
 
 // NodeSpec is one station of a custom topology.
@@ -70,6 +78,14 @@ func (t *TopologySpec) validate() error {
 			}
 			if _, err := ParseTech(l.Tech); err != nil {
 				return fmt.Errorf("custom topology: link %d: %w", i, err)
+			}
+		}
+		for name, r := range t.SenseRadius {
+			if _, err := ParseTech(name); err != nil {
+				return fmt.Errorf("custom topology: sense_radius: %w", err)
+			}
+			if r <= 0 {
+				return fmt.Errorf("custom topology: sense_radius[%s] must be positive, got %g", name, r)
 			}
 		}
 		return nil
@@ -125,7 +141,26 @@ func (t *TopologySpec) BuildView(seed int64, view topology.View) (*graph.Network
 // single-channel view drops non-WiFi links, the dual view clones each
 // WiFi link onto a second non-interfering channel with equal capacity.
 func (t *TopologySpec) buildCustom(view topology.View) (*graph.Network, error) {
-	b := graph.NewBuilder(nil)
+	var model graph.InterferenceModel
+	if len(t.SenseRadius) > 0 {
+		radii := map[graph.Tech]float64{}
+		for name, r := range t.SenseRadius {
+			tech, err := ParseTech(name)
+			if err != nil {
+				return nil, err
+			}
+			radii[tech] = r
+		}
+		// The dual-WiFi view clones links onto the second channel; unless
+		// the spec says otherwise, that channel senses like the first.
+		if r, ok := radii[graph.TechWiFi]; ok {
+			if _, explicit := radii[graph.TechWiFi2]; !explicit {
+				radii[graph.TechWiFi2] = r
+			}
+		}
+		model = graph.RangeBased{SenseRadius: radii}
+	}
+	b := graph.NewBuilder(model)
 	ids := map[string]graph.NodeID{}
 	for _, n := range t.Nodes {
 		techs := make([]graph.Tech, 0, len(n.Techs)+1)

@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Sharded coordinates a set of engines — one per interference domain —
+// with conservative lookahead windows (Chandy–Misra–Bryant style,
+// without null messages: the window barrier plays their role). Each
+// window runs every engine up to a horizon that no cross-shard event can
+// undercut, then drains the cross-shard queues at a barrier in a fixed
+// order, so the trajectory is bit-identical at any worker count:
+//
+//   - the global horizon of a window is min(next event) + lookahead,
+//     where lookahead is the minimum cross-shard propagation delay;
+//     an engine processes events strictly below the horizon (RunBefore)
+//     and leaves its clock short of it, because a cross event may land
+//     exactly on the horizon;
+//   - a cross-shard event sent at local time t arrives at t+delay ≥
+//     t+lookahead ≥ horizon, so it can never order before an event the
+//     destination already processed this window;
+//   - queues are drained single-threaded at the barrier in (destination,
+//     source, FIFO) order, so destination sequence numbers — the FIFO
+//     tie-break among simultaneous events — are assigned identically no
+//     matter which worker ran which shard.
+//
+// With an infinite lookahead (fully independent domains, the common case
+// for disconnected interference components) a Run is a single window.
+type Sharded struct {
+	engines   []*Engine
+	workers   int
+	lookahead float64
+	// queues[src*n+dst] is the SPSC cross queue from shard src to dst:
+	// only src's worker appends (during a window), only the coordinator
+	// drains (at the barrier).
+	queues [][]crossMsg
+	counts []int // per-engine processed counts of the current window
+}
+
+type crossMsg struct {
+	at  float64
+	fn  func(any)
+	arg any
+}
+
+// NewSharded builds a coordinator over the given engines with up to
+// `workers` goroutines per window (clamped to [1, len(engines)]) and an
+// infinite lookahead — callers with coupled shards must SetLookahead to
+// their minimum cross-shard delay before sending cross events.
+func NewSharded(engines []*Engine, workers int) *Sharded {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(engines) {
+		workers = len(engines)
+	}
+	n := len(engines)
+	return &Sharded{
+		engines:   engines,
+		workers:   workers,
+		lookahead: math.Inf(1),
+		queues:    make([][]crossMsg, n*n),
+		counts:    make([]int, n),
+	}
+}
+
+// SetLookahead sets the conservative window width: the minimum virtual
+// delay of any cross-shard event. It must be positive.
+func (s *Sharded) SetLookahead(l float64) {
+	if l <= 0 {
+		panic("sim: lookahead must be positive")
+	}
+	s.lookahead = l
+}
+
+// NumShards returns the number of coordinated engines.
+func (s *Sharded) NumShards() int { return len(s.engines) }
+
+// Workers returns the worker-goroutine cap per window.
+func (s *Sharded) Workers() int { return s.workers }
+
+// Engine returns shard i's engine.
+func (s *Sharded) Engine(i int) *Engine { return s.engines[i] }
+
+// Pending sums the scheduled timers across shards (queued cross events
+// are always drained before Run returns, so they never count here).
+func (s *Sharded) Pending() int {
+	n := 0
+	for _, e := range s.engines {
+		n += e.Pending()
+	}
+	return n
+}
+
+// NextEventTime returns the earliest pending event across shards.
+func (s *Sharded) NextEventTime() float64 {
+	next := math.Inf(1)
+	for _, e := range s.engines {
+		if t := e.NextEventTime(); t < next {
+			next = t
+		}
+	}
+	return next
+}
+
+// Cross schedules fn(arg) on shard dst at src's local time plus delay.
+// It must be called from within shard src's event handlers (during a
+// window), and the delay must not undercut the lookahead — that is the
+// conservative contract that keeps already-processed events safe.
+func (s *Sharded) Cross(src, dst int, delay float64, fn func(any), arg any) {
+	if delay < s.lookahead {
+		panic(fmt.Sprintf("sim: cross-shard delay %g below lookahead %g", delay, s.lookahead))
+	}
+	i := src*len(s.engines) + dst
+	s.queues[i] = append(s.queues[i], crossMsg{at: s.engines[src].Now() + delay, fn: fn, arg: arg})
+}
+
+// Run advances every shard to absolute virtual time `until` in
+// conservative windows and returns the number of events processed. All
+// shard clocks end exactly at `until`, like Engine.Run.
+func (s *Sharded) Run(until float64) int {
+	total := 0
+	for {
+		next := s.NextEventTime()
+		if next > until {
+			break
+		}
+		if end := next + s.lookahead; end < until {
+			total += s.runAll(end, false)
+		} else {
+			// The horizon covers the rest of the run: finish inclusively,
+			// clamping clocks to `until`. Cross events sent in this window
+			// arrive at ≥ next+lookahead ≥ until, so nothing already
+			// processed is undercut; arrivals exactly at `until` go around
+			// the loop once more.
+			total += s.runAll(until, true)
+		}
+		s.drain()
+	}
+	s.runAll(until, true) // clamp every clock to the end of the run
+	return total
+}
+
+// runAll runs every engine of the window, fanning out across workers.
+// Engines are statically assigned (shard i → worker i mod W): each shard
+// is touched by exactly one goroutine per window, and shards share no
+// state within a window, so the assignment never affects the trajectory.
+func (s *Sharded) runAll(until float64, inclusive bool) int {
+	if s.workers <= 1 {
+		n := 0
+		for _, e := range s.engines {
+			n += runOne(e, until, inclusive)
+		}
+		return n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < s.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(s.engines); i += s.workers {
+				s.counts[i] = runOne(s.engines[i], until, inclusive)
+			}
+		}(w)
+	}
+	wg.Wait()
+	n := 0
+	for _, c := range s.counts {
+		n += c
+	}
+	return n
+}
+
+func runOne(e *Engine, until float64, inclusive bool) int {
+	if inclusive {
+		return e.Run(until)
+	}
+	return e.RunBefore(until)
+}
+
+// drain moves queued cross events onto their destination engines at the
+// window barrier, in (destination, source, FIFO) order. Scheduling
+// through AtFunc assigns destination sequence numbers in this fixed
+// order, which is what makes simultaneous cross arrivals tie-break
+// identically at any worker count.
+func (s *Sharded) drain() {
+	n := len(s.engines)
+	for dst := 0; dst < n; dst++ {
+		for src := 0; src < n; src++ {
+			q := s.queues[src*n+dst]
+			if len(q) == 0 {
+				continue
+			}
+			e := s.engines[dst]
+			for i := range q {
+				e.AtFunc(q[i].at, q[i].fn, q[i].arg)
+				q[i] = crossMsg{} // drop references for the pool's sake
+			}
+			s.queues[src*n+dst] = q[:0]
+		}
+	}
+}

@@ -92,6 +92,9 @@ type Instance struct {
 	WiFiCap [][]float64
 	PLCCap  [][]float64
 	Config  Config
+
+	// built caches one materialization per view for BuildCached.
+	built [3]*Network
 }
 
 // View selects which technologies materialize.
@@ -210,6 +213,25 @@ func (inst *Instance) Build(view View) *Network {
 		}
 	}
 	return net
+}
+
+// BuildCached returns the instance's materialization of a view, building
+// it on first use and reusing it afterwards. Scheme sweeps evaluate
+// several schemes over at most three distinct views of the same
+// instance, and materialization dominates their allocation profile; the
+// cache collapses those rebuilds. The cached networks serve the
+// read-only analytic paths (routing, the centralized controller, the
+// fluid MAC): a caller that mutates link capacities — every emulation
+// does — must take a fresh Build. Not safe for concurrent use on one
+// Instance; the Monte-Carlo runners give each replication its own.
+func (inst *Instance) BuildCached(view View) *Network {
+	if int(view) >= len(inst.built) {
+		return inst.Build(view)
+	}
+	if inst.built[view] == nil {
+		inst.built[view] = inst.Build(view)
+	}
+	return inst.built[view]
 }
 
 // wifiCapacity samples the capacity of a WiFi link of length dist from

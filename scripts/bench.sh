@@ -110,9 +110,24 @@ print_delta() {
         split(oldv[name], ov, "|")
         printf "%-44s %14s %14s %8s %12s %12s %8s\n", name, ov[1], nv[1], ratio(ov[1], nv[1]), ov[2], nv[2], ratio(ov[2], nv[2])
       }
+      # Benchmarks present in the committed file but absent from this run
+      # (renamed, removed, or filtered out by the pattern) must not vanish
+      # silently from the report.
+      m = 0
+      for (name in oldv) if (!(name in newv)) gone[++m] = name
+      for (i = 2; i <= m; i++) {
+        v = gone[i]
+        for (j = i - 1; j >= 1 && gone[j] > v; j--) gone[j+1] = gone[j]
+        gone[j+1] = v
+      }
+      for (i = 1; i <= m; i++) {
+        name = gone[i]
+        split(oldv[name], ov, "|")
+        printf "%-44s %14s %14s %8s %12s %12s %8s\n", name, ov[1], "-", "gone", ov[2], "-", "gone"
+      }
     }
   ' "$1" "$2"
 }
 
 run_bench 'BenchmarkRoutingN5$|BenchmarkAblationNShortest|BenchmarkAblationCSC|BenchmarkControllerSlot$|BenchmarkFigure4ParallelSweep' "$routing_out"
-run_bench 'BenchmarkChurnSweep$|BenchmarkEmulationSecond$' "$scenario_out"
+run_bench 'BenchmarkChurnSweep$|BenchmarkChurnSweepSharded$|BenchmarkEmulationSecond$|BenchmarkEmulationSecondSharded$' "$scenario_out"
