@@ -33,6 +33,10 @@
 //	                 the numbers — the trajectory is bit-identical at any
 //	                 shard count; connected single-domain topologies run
 //	                 the classic engine regardless
+//	-invariants      attach the runtime invariant checker (flow
+//	                 conservation, dead-link silence, rate bounds) to
+//	                 every replication, report per-reason drop counters,
+//	                 and exit non-zero on any violation
 //	-flaprates list  run the goodput-vs-flap-rate sweep at these flap
 //	                 frequencies (cycles/minute, e.g. "0.5,1,2,4")
 //	                 instead of the failover experiment
@@ -72,6 +76,7 @@ func main() {
 	frac := flag.Float64("frac", 0.8, "goodput-recovery fraction defining failover")
 	manage := flag.Bool("manage", true, "attach the route manager (fast failover) to multipath CC flows")
 	shards := flag.Int("shards", 1, "domain-shard workers per emulation (0: one per core)")
+	invariants := flag.Bool("invariants", false, "attach the runtime invariant checker to every replication; report per-reason drops and fail on any violation")
 	flapRates := flag.String("flaprates", "", "goodput-vs-flap-rate sweep frequencies (cycles/minute)")
 	flag.Parse()
 
@@ -90,7 +95,7 @@ func main() {
 	cfg := experiments.ChurnConfig{
 		Seed: *seed, Runs: *runs, Schemes: schemes, Delta: *delta,
 		Bin: *bin, Frac: *frac, ManageRoutes: *manage, Parallel: *parallel,
-		Shards: shardsValue(*shards),
+		Shards: shardsValue(*shards), Invariants: *invariants,
 	}
 
 	enc := json.NewEncoder(os.Stdout)
@@ -119,6 +124,16 @@ func main() {
 	res, err := experiments.ChurnFailoverCtx(ctx, sc, cfg)
 	fail(err)
 	emit("churn-failover", res, res.Render)
+	if *invariants {
+		violations := 0
+		for _, row := range res.Rows {
+			violations += row.Violations
+		}
+		if violations > 0 {
+			fmt.Fprintf(os.Stderr, "empower-scenario: %d invariant violations\n", violations)
+			os.Exit(1)
+		}
+	}
 }
 
 // shardsValue maps the CLI convention (0 = auto) onto node.Config.Shards

@@ -51,6 +51,50 @@ func TestChurnParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestGrayfailParallelDeterminism extends the determinism contract to
+// every event and process kind this PR added: the shipped grayfail
+// scenario exercises link groups (group-fail/group-recover), gray-loss
+// windows, and a flash crowd, with the invariant checker attached and
+// the sharded engine underneath. Same seed, parallel=1 vs parallel=8:
+// bit-identical results — including the per-reason drop counters and
+// the (empty) violation counts the checker adds to each row.
+func TestGrayfailParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn sweeps emulate minutes of virtual time per replication")
+	}
+	sc, err := scenario.Load("../../examples/scenarios/grayfail.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ChurnConfig{
+		Seed: 11, Runs: 2, ManageRoutes: true, Shards: 1, Invariants: true,
+		Schemes: []core.Scheme{core.SchemeEMPoWER, core.SchemeSPWoCC},
+	}
+	serial := base
+	serial.Parallel = 1
+	wide := base
+	wide.Parallel = 8
+	r1, err := ChurnFailover(sc, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := ChurnFailover(sc, wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r8) {
+		t.Fatalf("grayfail results differ across worker counts:\n  parallel=1: %+v\n  parallel=8: %+v", r1, r8)
+	}
+	for _, row := range r1.Rows {
+		if row.Violations != 0 {
+			t.Errorf("%s: invariant checker flagged %d violations on the shipped scenario", row.Scheme, row.Violations)
+		}
+		if row.Drops == nil {
+			t.Errorf("%s: per-reason drop counters missing with invariants on", row.Scheme)
+		}
+	}
+}
+
 // TestChurnFailoverClaim pins the §6.1-style acceptance criterion on the
 // shipped flap scenario: EMPoWER's median failover latency is finite
 // (detection within the estimation timeout plus the rate shift — a

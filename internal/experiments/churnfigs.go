@@ -52,6 +52,11 @@ type ChurnConfig struct {
 	// never changes results — the trajectory is bit-identical at any
 	// shard count.
 	Shards int
+	// Invariants attaches the runtime invariant checker to every
+	// replication and surfaces violation counts and per-reason drop
+	// totals in the result rows. Off, the output stays byte-identical
+	// to a build without the checker.
+	Invariants bool
 }
 
 func (c ChurnConfig) runs() int {
@@ -122,6 +127,12 @@ type ChurnRow struct {
 	Reroutes     int `json:"reroutes"`
 	SkippedFlows int `json:"skipped_flows"`
 	Episodes     int `json:"episodes"`
+	// Drops totals the per-reason MAC drop counters across runs and
+	// Violations counts invariant breaches; both only with
+	// ChurnConfig.Invariants (absent otherwise, keeping default output
+	// byte-stable).
+	Drops      map[string]int `json:"drops,omitempty"`
+	Violations int            `json:"violations,omitempty"`
 }
 
 // ChurnResult is the failover experiment outcome.
@@ -133,12 +144,14 @@ type ChurnResult struct {
 
 // churnRun is one (run, scheme) replication outcome.
 type churnRun struct {
-	lat      []float64
-	censored int
-	goodput  float64
-	degraded []float64
-	reroutes int
-	skipped  int
+	lat        []float64
+	censored   int
+	goodput    float64
+	degraded   []float64
+	reroutes   int
+	skipped    int
+	drops      map[string]int
+	violations int
 }
 
 // churnReplication executes one scenario replication under one scheme.
@@ -168,6 +181,7 @@ func churnReplication(sc *scenario.Scenario, scheme core.Scheme, cfg ChurnConfig
 			return core.RoutesFor(scheme, n, src, dst)
 		},
 		ManageRoutes: cfg.ManageRoutes && scheme.CC(),
+		Invariants:   cfg.Invariants,
 	}
 	scSeed := stats.SplitSeed(cfg.Seed, 1_000_000+run)
 	rt, err := scenario.Bind(em, sc, scSeed, opts)
@@ -176,14 +190,19 @@ func churnReplication(sc *scenario.Scenario, scheme core.Scheme, cfg ChurnConfig
 	}
 	rt.Run()
 	lat, censored := rt.FailoverLatencies(cfg.bin(), cfg.frac())
-	return &churnRun{
+	out := &churnRun{
 		lat:      lat,
 		censored: censored,
 		goodput:  rt.AggregateGoodput(),
 		degraded: rt.DegradedGoodput(),
 		reroutes: rt.Reroutes(),
 		skipped:  len(rt.SkippedFlows),
-	}, nil
+	}
+	if cfg.Invariants {
+		out.drops = rt.DropsByReason()
+		out.violations = len(rt.Violations())
+	}
+	return out, nil
 }
 
 // ChurnFailover runs the failover experiment: Runs replications of the
@@ -221,6 +240,15 @@ func ChurnFailoverCtx(ctx context.Context, sc *scenario.Scenario, cfg ChurnConfi
 			row.SkippedFlows += out.skipped
 			goodputs = append(goodputs, out.goodput)
 			degraded = append(degraded, out.degraded...)
+			if out.drops != nil {
+				if row.Drops == nil {
+					row.Drops = map[string]int{}
+				}
+				for reason, n := range out.drops {
+					row.Drops[reason] += n
+				}
+				row.Violations += out.violations
+			}
 		}
 		row.Episodes = len(row.Latencies) + row.Censored
 		row.MedianLatency = medianWithCensored(row.Latencies, row.Censored)
@@ -262,6 +290,23 @@ func (r ChurnResult) Render() string {
 		fmt.Fprintf(&b, "%-10s %9d %9d %9s %10.2f %10.2f %9d\n",
 			row.Scheme, row.Episodes, row.Censored, med,
 			row.MeanGoodput, row.DegradedGoodput, row.Reroutes)
+	}
+	// The drops/violations section appears only when the invariant
+	// checker ran, so default output stays byte-identical.
+	if len(r.Rows) > 0 && r.Rows[0].Drops != nil {
+		fmt.Fprintf(&b, "Drops by reason (invariant checker on):\n")
+		for _, row := range r.Rows {
+			reasons := make([]string, 0, len(row.Drops))
+			for reason := range row.Drops {
+				reasons = append(reasons, reason)
+			}
+			sort.Strings(reasons)
+			fmt.Fprintf(&b, "%-10s", row.Scheme)
+			for _, reason := range reasons {
+				fmt.Fprintf(&b, " %s=%d", reason, row.Drops[reason])
+			}
+			fmt.Fprintf(&b, " violations=%d\n", row.Violations)
+		}
 	}
 	fmt.Fprintf(&b, "Failover-latency CDFs (finite episodes only):\n")
 	for _, row := range r.Rows {

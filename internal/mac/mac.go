@@ -22,6 +22,7 @@
 package mac
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/graph"
@@ -44,9 +45,42 @@ type Packet struct {
 // passed by value; the receiver owns it from here on.
 type DeliverFunc func(l graph.LinkID, pkt Packet)
 
+// DropReason classifies a packet loss. The enum is dense so per-reason
+// counters live in a fixed array on LinkStats and the invariant checker
+// can verify the totals without string comparisons.
+type DropReason uint8
+
+// Drop reasons.
+const (
+	// DropDeadLink rejects a Send on a link with zero capacity.
+	DropDeadLink DropReason = iota
+	// DropQueueOverflow is drop-tail on a full per-link FIFO.
+	DropQueueOverflow
+	// DropLinkDown flushes queued frames when a link's capacity reaches
+	// zero mid-run (the frames are gone with the medium).
+	DropLinkDown
+	// DropChannelLoss is a per-packet channel error at reception (the
+	// gray-failure model: the link is up, the airtime is consumed, the
+	// frame is corrupt).
+	DropChannelLoss
+	// NumDropReasons sizes dense per-reason arrays.
+	NumDropReasons
+)
+
+var dropReasonNames = [NumDropReasons]string{
+	"dead-link", "queue-overflow", "link-down", "channel-loss",
+}
+
+func (r DropReason) String() string {
+	if int(r) < len(dropReasonNames) {
+		return dropReasonNames[r]
+	}
+	return "unknown"
+}
+
 // DropFunc observes packets lost to queue overflow, link death or
 // channel errors (by value, like DeliverFunc).
-type DropFunc func(l graph.LinkID, pkt Packet, reason string)
+type DropFunc func(l graph.LinkID, pkt Packet, reason DropReason)
 
 // Options configures the MAC.
 type Options struct {
@@ -54,7 +88,8 @@ type Options struct {
 	// drop-tail).
 	QueueLimit int
 	// LossProb[l] is an optional per-link channel error probability
-	// applied per packet (default none).
+	// applied per packet (default none). The MAC copies it into its own
+	// dense table at New; later mutations go through SetLossProb.
 	LossProb []float64
 }
 
@@ -65,12 +100,16 @@ func (o Options) queueLimit() int {
 	return o.QueueLimit
 }
 
-// LinkStats accumulates per-link counters.
+// LinkStats accumulates per-link counters. DroppedPkts is incremented
+// separately from the per-reason array (not derived from it), so the
+// invariant DroppedPkts == Σ Dropped[r] is a real consistency check.
 type LinkStats struct {
 	DeliveredBits float64
 	DeliveredPkts int
 	DroppedPkts   int
-	BusySeconds   float64
+	// Dropped counts losses by reason, indexed by DropReason.
+	Dropped     [NumDropReasons]int
+	BusySeconds float64
 }
 
 // ring is a FIFO of inline Packet values. It grows geometrically up to
@@ -146,6 +185,9 @@ type MAC struct {
 	// blocked[l] == 0.
 	blocked []int
 	stats   []LinkStats
+	// lossProb[l] is the live per-link channel error probability (dense;
+	// seeded from Options.LossProb, mutated by SetLossProb).
+	lossProb []float64
 
 	// completion[l] is the preallocated argument of link l's completion
 	// timers; shuffleScratch backs the contender shuffle in complete.
@@ -170,10 +212,14 @@ func New(engine *sim.Engine, net *graph.Network, rng *rand.Rand, opts Options) *
 		transmitting: make([]bool, n),
 		blocked:      make([]int, n),
 		stats:        make([]LinkStats, n),
+		lossProb:     make([]float64, n),
 		completion:   make([]completeArg, n),
 	}
 	for l := range m.completion {
 		m.completion[l] = completeArg{m: m, l: graph.LinkID(l)}
+	}
+	for l := 0; l < n && l < len(opts.LossProb); l++ {
+		m.SetLossProb(graph.LinkID(l), opts.LossProb[l])
 	}
 	return m
 }
@@ -188,6 +234,65 @@ func (m *MAC) Stats(l graph.LinkID) LinkStats { return m.stats[l] }
 // Busy reports whether link l is currently transmitting.
 func (m *MAC) Busy(l graph.LinkID) bool { return m.transmitting[l] }
 
+// QueueLimit returns the per-link FIFO capacity in packets.
+func (m *MAC) QueueLimit() int { return m.opts.queueLimit() }
+
+// LossProb returns link l's current channel error probability.
+func (m *MAC) LossProb(l graph.LinkID) float64 { return m.lossProb[l] }
+
+// SetLossProb sets link l's channel error probability, clamped to
+// [0, 1] — the gray-failure hook (scenario set-loss events reach it via
+// node.Emulation.SetLinkLoss). The RNG is only consulted for packets on
+// links with positive loss, so setting (or leaving) zero never perturbs
+// a trajectory.
+func (m *MAC) SetLossProb(l graph.LinkID, p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	m.lossProb[l] = p
+}
+
+// CheckConsistency verifies the MAC's internal bookkeeping: queue
+// lengths within the limit, a transmitting link has backlog, blocked
+// counts equal to the number of active transmitters in each link's
+// interference set, and per-reason drop counters summing to the total.
+// It is read-only and cheap enough for a periodic invariant checker.
+func (m *MAC) CheckConsistency() error {
+	for l := range m.queues {
+		id := graph.LinkID(l)
+		if n := m.queues[l].len(); n > m.opts.queueLimit() {
+			return fmt.Errorf("mac: link %d queue %d exceeds limit %d", l, n, m.opts.queueLimit())
+		}
+		if m.transmitting[l] && m.queues[l].len() == 0 {
+			return fmt.Errorf("mac: link %d transmitting with empty queue", l)
+		}
+		active := 0
+		for _, i := range m.net.Interference(id) {
+			if m.transmitting[i] {
+				active++
+			}
+		}
+		if m.blocked[l] != active {
+			return fmt.Errorf("mac: link %d blocked=%d but %d active transmitters in its interference set", l, m.blocked[l], active)
+		}
+		st := &m.stats[l]
+		sum := 0
+		for _, c := range st.Dropped {
+			sum += c
+		}
+		if sum != st.DroppedPkts {
+			return fmt.Errorf("mac: link %d per-reason drops sum to %d, total says %d", l, sum, st.DroppedPkts)
+		}
+		if p := m.lossProb[l]; p < 0 || p > 1 {
+			return fmt.Errorf("mac: link %d loss probability %g outside [0,1]", l, p)
+		}
+	}
+	return nil
+}
+
 // Send enqueues a frame of the given size and payload on link l. It
 // returns false (and invokes Drop) when the queue is full or the link is
 // dead. The packet is built in place in the link's ring buffer — the
@@ -196,11 +301,11 @@ func (m *MAC) Send(l graph.LinkID, bits float64, payload interface{}) bool {
 	pkt := Packet{Bits: bits, Payload: payload, Enqueued: m.engine.Now()}
 	link := m.net.Link(l)
 	if link.Capacity <= 0 {
-		m.drop(l, pkt, "dead-link")
+		m.drop(l, pkt, DropDeadLink)
 		return false
 	}
 	if m.queues[l].len() >= m.opts.queueLimit() {
-		m.drop(l, pkt, "queue-overflow")
+		m.drop(l, pkt, DropQueueOverflow)
 		return false
 	}
 	m.queues[l].push(pkt)
@@ -226,13 +331,14 @@ func (m *MAC) LinkChanged(l graph.LinkID) {
 		keep = 1 // in-flight frame: complete() pops it
 	}
 	for i := keep; i < q.len(); i++ {
-		m.drop(l, *q.at(i), "link-down")
+		m.drop(l, *q.at(i), DropLinkDown)
 	}
 	q.truncate(keep)
 }
 
-func (m *MAC) drop(l graph.LinkID, pkt Packet, reason string) {
+func (m *MAC) drop(l graph.LinkID, pkt Packet, reason DropReason) {
 	m.stats[l].DroppedPkts++
+	m.stats[l].Dropped[reason]++
 	if m.Drop != nil {
 		m.Drop(l, pkt, reason)
 	}
@@ -271,13 +377,11 @@ func (m *MAC) complete(l graph.LinkID) {
 	// Channel-error filtering happens at reception, as with real CSMA/CA
 	// where the airtime is consumed regardless.
 	lost := false
-	if m.opts.LossProb != nil && int(l) < len(m.opts.LossProb) {
-		if p := m.opts.LossProb[l]; p > 0 && m.rng.Float64() < p {
-			lost = true
-		}
+	if p := m.lossProb[l]; p > 0 && m.rng.Float64() < p {
+		lost = true
 	}
 	if lost {
-		m.drop(l, pkt, "channel-error")
+		m.drop(l, pkt, DropChannelLoss)
 	} else {
 		m.stats[l].DeliveredBits += pkt.Bits
 		m.stats[l].DeliveredPkts++

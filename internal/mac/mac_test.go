@@ -105,9 +105,9 @@ func TestQueueOverflowDrops(t *testing.T) {
 	net, l1, _, _ := twoContenders()
 	m := New(&e, net, rng(4), Options{QueueLimit: 5})
 	drops := 0
-	m.Drop = func(l graph.LinkID, pkt Packet, reason string) {
-		if reason != "queue-overflow" {
-			t.Errorf("unexpected drop reason %q", reason)
+	m.Drop = func(l graph.LinkID, pkt Packet, reason DropReason) {
+		if reason != DropQueueOverflow {
+			t.Errorf("unexpected drop reason %v", reason)
 		}
 		drops++
 	}
@@ -117,8 +117,12 @@ func TestQueueOverflowDrops(t *testing.T) {
 	if drops != 5 {
 		t.Errorf("drops = %d, want 5", drops)
 	}
-	if m.Stats(l1).DroppedPkts != 5 {
-		t.Errorf("stats drops = %d, want 5", m.Stats(l1).DroppedPkts)
+	st := m.Stats(l1)
+	if st.DroppedPkts != 5 || st.Dropped[DropQueueOverflow] != 5 {
+		t.Errorf("stats drops = %d (per-reason %v), want 5", st.DroppedPkts, st.Dropped)
+	}
+	if err := m.CheckConsistency(); err != nil {
+		t.Errorf("consistency after overflow drops: %v", err)
 	}
 }
 
@@ -138,10 +142,13 @@ func TestChannelErrors(t *testing.T) {
 	loss := make([]float64, net.NumLinks())
 	loss[l1] = 0.5
 	m := New(&e, net, rng(6), Options{LossProb: loss})
+	if got := m.LossProb(l1); got != 0.5 {
+		t.Fatalf("LossProb = %v, want 0.5 (Options not copied)", got)
+	}
 	delivered, dropped := 0, 0
 	m.Deliver = func(l graph.LinkID, pkt Packet) { delivered++ }
-	m.Drop = func(l graph.LinkID, pkt Packet, reason string) {
-		if reason == "channel-error" {
+	m.Drop = func(l graph.LinkID, pkt Packet, reason DropReason) {
+		if reason == DropChannelLoss {
 			dropped++
 		}
 	}
@@ -152,6 +159,51 @@ func TestChannelErrors(t *testing.T) {
 	frac := float64(dropped) / float64(delivered+dropped)
 	if math.Abs(frac-0.5) > 0.1 {
 		t.Errorf("loss fraction = %v, want ~0.5", frac)
+	}
+	if st := m.Stats(l1); st.Dropped[DropChannelLoss] != dropped {
+		t.Errorf("per-reason channel-loss counter %d, want %d", st.Dropped[DropChannelLoss], dropped)
+	}
+}
+
+// TestSetLossProb covers the mid-run gray-failure hook: the loss
+// probability changes live, clamps to [0,1], and a link reset to zero
+// stops consuming RNG draws (no more channel losses).
+func TestSetLossProb(t *testing.T) {
+	var e sim.Engine
+	net, l1, _, _ := twoContenders()
+	m := New(&e, net, rng(9), Options{})
+	dropped := 0
+	m.Drop = func(l graph.LinkID, pkt Packet, reason DropReason) {
+		if reason == DropChannelLoss {
+			dropped++
+		}
+	}
+	m.SetLossProb(l1, 1)
+	for i := 0; i < 20; i++ {
+		m.Send(l1, 12000, nil)
+		e.RunUntilIdle()
+	}
+	if dropped != 20 {
+		t.Errorf("dropped %d of 20 at loss 1.0", dropped)
+	}
+	m.SetLossProb(l1, 0)
+	for i := 0; i < 20; i++ {
+		m.Send(l1, 12000, nil)
+		e.RunUntilIdle()
+	}
+	if dropped != 20 {
+		t.Errorf("loss 0 still dropping (total %d)", dropped)
+	}
+	m.SetLossProb(l1, 2)
+	if got := m.LossProb(l1); got != 1 {
+		t.Errorf("loss clamped to %v, want 1", got)
+	}
+	m.SetLossProb(l1, -3)
+	if got := m.LossProb(l1); got != 0 {
+		t.Errorf("loss clamped to %v, want 0", got)
+	}
+	if err := m.CheckConsistency(); err != nil {
+		t.Errorf("consistency: %v", err)
 	}
 }
 

@@ -66,9 +66,14 @@ type Agent struct {
 	sinks   map[sinkKey]*Sink // flows terminating here
 	tcpSeen bool              // a TCP flow touches this node (δ signal)
 
-	// Forwarding statistics.
-	Forwarded int
-	Consumed  int
+	// Forwarding statistics. Every data frame this agent ingests is
+	// counted in DataIn and ends up in exactly one of Consumed (local
+	// destination), Forwarded (relayed) or RouteDrops (malformed or
+	// stale route) — the relay flow-conservation invariant.
+	DataIn     int
+	Forwarded  int
+	Consumed   int
+	RouteDrops int
 }
 
 type sinkKey struct {
@@ -135,7 +140,7 @@ func (a *Agent) probeTick() {
 	for _, l := range a.egress {
 		e := a.est[l]
 		if e.Mode() == linkest.ModeProbe {
-			cap := a.em.Net.Link(l).Capacity
+			cap := a.em.effectiveCapacity(l)
 			if cap > 0 {
 				e.Observe(e.Sample(cap, a.em.rng), now)
 			}
@@ -150,7 +155,10 @@ func (a *Agent) sendOnLink(l graph.LinkID, bits float64, payload interface{}) bo
 	a.offeredBits[l] += bits
 	if est := a.est[l]; est != nil && a.em.cfg.Estimation {
 		est.SetMode(linkest.ModeTraffic)
-		cap := a.em.Net.Link(l).Capacity
+		// Sample the effective capacity c·(1−p): under gray failure the
+		// estimate (and with it congestion control and failover) tracks
+		// what the link actually delivers, not its nominal rate.
+		cap := a.em.effectiveCapacity(l)
 		if cap > 0 {
 			est.Observe(est.Sample(cap, a.em.rng), a.em.Engine.Now())
 		}
@@ -178,6 +186,7 @@ func (a *Agent) receive(l graph.LinkID, pkt mac.Packet) {
 // the MAC (whose Drop callback frees it on failure).
 func (a *Agent) onData(p *dataPkt) {
 	f := &p.frame
+	a.DataIn++
 	if f.Dst == a.id {
 		a.Consumed++
 		a.sinkFor(f.Src, f.FlowID).onData(p)
@@ -186,11 +195,13 @@ func (a *Agent) onData(p *dataPkt) {
 	// Forward to the next hop.
 	f.Hop++
 	if int(f.Hop) >= f.Header.RouteLen() {
+		a.RouteDrops++
 		a.em.freePkt(p)
 		return // malformed route; drop
 	}
 	next, ok := a.ifaceOut[f.Header.Route[f.Hop]]
 	if !ok {
+		a.RouteDrops++
 		a.em.freePkt(p)
 		return // we are not on this route; drop
 	}
@@ -380,6 +391,13 @@ func (a *Agent) sinkFor(src graph.NodeID, flowID uint16) *Sink {
 // its source node and flow ID — the hook point for transport receivers.
 func (a *Agent) SinkFor(src graph.NodeID, flowID uint16) *Sink {
 	return a.sinkFor(src, flowID)
+}
+
+// PeekSink returns the sink of the identified flow without creating it —
+// the read-only form for observers (SinkFor schedules an ack tick on
+// creation, which would perturb the trajectory under observation).
+func (a *Agent) PeekSink(src graph.NodeID, flowID uint16) *Sink {
+	return a.sinks[sinkKey{src, flowID}]
 }
 
 // Sinks lists the sinks terminating at this node (for measurements),

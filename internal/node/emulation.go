@@ -62,6 +62,11 @@ type Config struct {
 	PacketBytes int
 	// QueueLimit is the per-link MAC queue in packets (default 100).
 	QueueLimit int
+	// LossProb[l] is an optional static per-link channel error
+	// probability, indexed by LinkID (the gray-failure model for
+	// non-scenario runs; scenarios mutate loss mid-run through
+	// SetLinkLoss). Missing entries and absent slices mean lossless.
+	LossProb []float64
 	// DelayEqualize enables destination-side delay equalization across
 	// routes (§6.4; default off).
 	DelayEqualize bool
@@ -184,6 +189,12 @@ type Emulation struct {
 	rng   *rand.Rand
 	flows []*Flow
 
+	// capEpoch[l] counts link l's capacity changes — the invariant
+	// checker's witness that a link stayed dead (or alive) across a
+	// whole sampling interval. Sharded dispatchers leave it nil; the
+	// owning domain's counter is authoritative.
+	capEpoch []uint32
+
 	// numTechs bounds the dense per-technology agent state.
 	numTechs int
 
@@ -304,10 +315,11 @@ func NewEmulation(net *graph.Network, cfg Config, seed int64) *Emulation {
 // its full shape so global node and link IDs stay valid.
 func newEmulationOwned(net *graph.Network, cfg Config, seed int64, own []bool) *Emulation {
 	e := &Emulation{
-		Engine: &sim.Engine{},
-		Net:    net,
-		cfg:    cfg,
-		rng:    rand.New(rand.NewSource(seed)),
+		Engine:   &sim.Engine{},
+		Net:      net,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(seed)),
+		capEpoch: make([]uint32, net.NumLinks()),
 	}
 	e.numTechs = 1
 	for l := 0; l < net.NumLinks(); l++ {
@@ -322,7 +334,7 @@ func newEmulationOwned(net *graph.Network, cfg Config, seed int64, own []bool) *
 			}
 		}
 	}
-	e.MAC = mac.New(e.Engine, net, e.rng, mac.Options{QueueLimit: cfg.queueLimit()})
+	e.MAC = mac.New(e.Engine, net, e.rng, mac.Options{QueueLimit: cfg.queueLimit(), LossProb: cfg.LossProb})
 	e.MAC.Deliver = e.deliver
 	e.MAC.Drop = e.macDrop
 	e.Agents = make([]*Agent, net.NumNodes())
@@ -375,7 +387,7 @@ func (e *Emulation) deliver(l graph.LinkID, pkt mac.Packet) {
 
 // macDrop releases the pooled state of frames the MAC dropped (delivered
 // frames release it at their consumer).
-func (e *Emulation) macDrop(_ graph.LinkID, pkt mac.Packet, _ string) {
+func (e *Emulation) macDrop(_ graph.LinkID, pkt mac.Packet, _ mac.DropReason) {
 	switch p := pkt.Payload.(type) {
 	case *dataPkt:
 		e.freePkt(p)
@@ -432,6 +444,7 @@ func (e *Emulation) SetLinkCapacity(l graph.LinkID, c float64) {
 	}
 	wasDead := link.Capacity <= 0
 	link.Capacity = c
+	e.capEpoch[l]++
 	e.MAC.LinkChanged(l)
 	if e.cfg.Estimation && wasDead && c > 0 && e.Agents[link.From] != nil {
 		if est := e.Agents[link.From].est[l]; est != nil {
@@ -441,6 +454,57 @@ func (e *Emulation) SetLinkCapacity(l graph.LinkID, c float64) {
 			est.SetMode(linkest.ModeProbe)
 		}
 	}
+}
+
+// SetLinkLoss sets link l's channel error probability at the current
+// virtual time — the gray-failure scenario hook (set-loss events). The
+// link stays up: frames still consume airtime and a fraction p of them
+// is dropped at reception. Like SetLinkCapacity, detection is honest —
+// the estimator samples the effective capacity c·(1−p), so congestion
+// control and routing see the degradation only through the noisy
+// estimates, never through an oracle shortcut.
+func (e *Emulation) SetLinkLoss(l graph.LinkID, p float64) {
+	if e.doms != nil {
+		// Dispatch to the owning domain's MAC; concurrent domain
+		// goroutines only ever touch their own links.
+		e.doms[e.linkDom[l]].SetLinkLoss(l, p)
+		return
+	}
+	e.MAC.SetLossProb(l, p)
+}
+
+// LinkLoss returns link l's current channel error probability.
+func (e *Emulation) LinkLoss(l graph.LinkID) float64 {
+	if e.doms != nil {
+		return e.doms[e.linkDom[l]].LinkLoss(l)
+	}
+	return e.MAC.LossProb(l)
+}
+
+// CapacityEpoch counts link l's capacity changes since construction.
+// Two equal readings bracket an interval with no capacity transition —
+// what lets the invariant checker reason about a sampled window instead
+// of just its endpoints.
+func (e *Emulation) CapacityEpoch(l graph.LinkID) uint32 {
+	if e.doms != nil {
+		return e.doms[e.linkDom[l]].capEpoch[l]
+	}
+	return e.capEpoch[l]
+}
+
+// effectiveCapacity is the goodput-bearing capacity the estimator
+// samples: the ground-truth capacity scaled by the channel delivery
+// probability. With zero loss it is exactly the capacity, so the
+// estimation path is bit-identical to the pre-gray-failure behaviour.
+func (e *Emulation) effectiveCapacity(l graph.LinkID) float64 {
+	c := e.Net.Link(l).Capacity
+	if c <= 0 {
+		return c
+	}
+	if p := e.MAC.LossProb(l); p > 0 {
+		c *= 1 - p
+	}
+	return c
 }
 
 // priceDelivery is the pooled in-flight form of a price broadcast: the
@@ -542,6 +606,17 @@ func (e *Emulation) linkEstimate(l graph.LinkID) float64 {
 		}
 	}
 	return e.Net.Link(l).Capacity
+}
+
+// LinkEstimate exposes the capacity estimate feeding the price terms
+// (the invariant checker bounds controller rates against it). On a
+// sharded emulation it reads the owning domain's estimator through the
+// merged agent view, exactly like the internal price path does.
+func (e *Emulation) LinkEstimate(l graph.LinkID) float64 {
+	if e.doms != nil {
+		return e.doms[e.linkDom[l]].linkEstimate(l)
+	}
+	return e.linkEstimate(l)
 }
 
 // dEstimate returns the estimated d_l = 1/ĉ_l (+Inf treated as a huge

@@ -74,6 +74,11 @@ type Flow struct {
 
 	seq      uint32
 	sentBits float64
+	// lastAckAt is the virtual time of the most recent acknowledgement
+	// (-1 before the first): the freshness signal the invariant checker
+	// gates its rate-vs-capacity bound on (a flow whose acks stopped
+	// coasts on stale rates, which is correct behaviour, not a violation).
+	lastAckAt float64
 	// File-transfer accounting (TrafficFile): downloads are reliable —
 	// the source keeps sending until the destination has confirmed
 	// FileBytes of payload through the 100 ms acknowledgements (lost
@@ -144,6 +149,7 @@ func (e *Emulation) AddFlow(spec FlowSpec, startAt float64) (*Flow, error) {
 		f.routeLogs[i] = newSeriesLog(e.cfg.ExpectedDuration)
 	}
 	f.rateLog = newSeriesLog(e.cfg.ExpectedDuration)
+	f.lastAckAt = -1
 	f.seedRates()
 	f.tuner = congestion.NewAlphaTuner(e.cfg.flowAlphaBase(), n, longest)
 	e.flows = append(e.flows, f)
@@ -189,6 +195,22 @@ func (f *Flow) TotalRate() float64 {
 
 // Routes returns the flow's routes.
 func (f *Flow) Routes() []graph.Path { return f.routes }
+
+// Active reports whether the flow is currently emitting traffic.
+func (f *Flow) Active() bool { return f.active }
+
+// CC reports whether the flow runs under congestion control (false for
+// the w/o-CC baselines).
+func (f *Flow) CC() bool { return !f.em.cfg.DisableCC }
+
+// InjectedPackets returns the number of data packets the source has
+// built so far (the sequence-number high-water mark; an upper bound on
+// what any sink can deliver or declare lost).
+func (f *Flow) InjectedPackets() int { return int(f.seq) }
+
+// LastAckAt returns the virtual time of the most recent acknowledgement
+// (-1 if none arrived yet).
+func (f *Flow) LastAckAt() float64 { return f.lastAckAt }
 
 // Done reports whether a file flow's payload has been confirmed
 // delivered in full.
@@ -434,6 +456,7 @@ func (f *Flow) seedRates() {
 // onAck applies the §4.3 proximal update per acknowledged route and
 // advances the reliable-transfer confirmation counter.
 func (f *Flow) onAck(ack *wire.AckFrame) {
+	f.lastAckAt = f.em.Engine.Now()
 	for _, ra := range ack.Routes {
 		f.confirmedBytes += int64(ra.Delivered)
 	}

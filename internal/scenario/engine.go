@@ -7,6 +7,8 @@ import (
 	"strconv"
 
 	"repro/internal/graph"
+	"repro/internal/invariant"
+	"repro/internal/mac"
 	"repro/internal/node"
 	"repro/internal/routing"
 )
@@ -44,6 +46,15 @@ type Options struct {
 	// goroutine, so a sharded run's observer must be safe for concurrent
 	// calls.
 	OnEvent func(ev Event)
+	// Invariants attaches a runtime invariant checker to every domain
+	// engine: flow conservation at relays, dead links delivering
+	// nothing, controller rates within estimated capacity, monotone
+	// virtual time, per-reason drop accounting. Violations accumulate
+	// in Runtime.Violations once Finish runs.
+	Invariants bool
+	// InvariantInterval is the checker's tick period in seconds (0:
+	// the checker's default).
+	InvariantInterval float64
 }
 
 func (o Options) routes() RouteFn {
@@ -90,6 +101,7 @@ type Transition struct {
 	Kind     EventKind
 	Link     graph.LinkID // -1 for node/flow events
 	Capacity float64
+	Loss     float64 // set-loss events only: the new channel error rate
 }
 
 // Runtime is a scenario bound to a running emulation.
@@ -127,6 +139,9 @@ type Runtime struct {
 	SkippedFlows []string
 	Transitions  []Transition
 	Failures     []*Failure
+
+	// checker is the invariant checker (nil unless Options.Invariants).
+	checker *invariant.Checker
 }
 
 // rtDomain is the per-domain slice of the runtime: the state the owning
@@ -221,12 +236,58 @@ func Bind(em *node.Emulation, sc *Scenario, seed int64, opts Options) (*Runtime,
 			rt.Unresolved = append(rt.Unresolved, err.Error())
 			continue
 		}
+		// A group event may span interference domains. Each domain's
+		// handlers run on their own worker goroutine, so split the group
+		// into per-domain slices, each applied at the event time on its
+		// owning engine — atomic within a domain, simultaneous in
+		// virtual time across them.
+		if (be.Kind == GroupFail || be.Kind == GroupRecover) && rt.Em.NumDomains() > 1 {
+			for di := 0; di < rt.Em.NumDomains(); di++ {
+				var part []graph.LinkID
+				for _, l := range be.links {
+					if rt.Em.LinkDomain(l) == di {
+						part = append(part, l)
+					}
+				}
+				if len(part) > 0 {
+					sub := be
+					sub.links = part
+					bound = append(bound, timelineEvent{d: rt.doms[di], be: sub})
+				}
+			}
+			continue
+		}
 		bound = append(bound, timelineEvent{d: rt.eventDomain(be), be: be})
 	}
 	for i := range bound {
 		bound[i].d.em.Engine.AtFunc(bound[i].be.At, applyTimelineEvent, &bound[i])
 	}
+	if opts.Invariants {
+		rt.checker = invariant.Attach(em, invariant.Config{
+			Interval: opts.InvariantInterval,
+			Flows:    rt.domainFlows,
+		})
+	}
 	return rt, nil
+}
+
+// domainFlows feeds the invariant checker the flows a domain owns, in
+// creation order. The checker calls it on the owning domain's worker
+// goroutine — the same goroutine that mutates d.flows — so the read
+// needs no synchronization.
+func (rt *Runtime) domainFlows(dom int) []invariant.FlowInfo {
+	d := rt.doms[dom]
+	out := make([]invariant.FlowInfo, 0, len(d.order))
+	for _, name := range d.order {
+		rec := d.flows[name]
+		if rec.StoppedAt > 0 {
+			continue
+		}
+		out = append(out, invariant.FlowInfo{
+			Name: name, Flow: rec.Flow, Src: rec.Src, Dst: rec.Dst,
+		})
+	}
+	return out
 }
 
 func (d *rtDomain) index() int {
@@ -249,7 +310,7 @@ func (rt *Runtime) domainOfNode(n graph.NodeID) *rtDomain {
 // before).
 func (rt *Runtime) eventDomain(be boundEvent) *rtDomain {
 	switch be.Kind {
-	case LinkFail, LinkRecover, SetCapacity, ScaleCapacity:
+	case LinkFail, LinkRecover, SetCapacity, ScaleCapacity, SetLoss, GroupFail, GroupRecover:
 		return rt.doms[rt.Em.LinkDomain(be.links[0])]
 	case NodeLeave, NodeJoin:
 		return rt.domainOfNode(be.node)
@@ -293,7 +354,37 @@ func (rt *Runtime) Finish() {
 			}
 		}
 	}
+	if rt.checker != nil {
+		rt.checker.Final()
+	}
 	rt.merge()
+}
+
+// Violations returns the invariant violations collected during the run
+// (nil without Options.Invariants). Valid after Finish.
+func (rt *Runtime) Violations() []invariant.Violation {
+	if rt.checker == nil {
+		return nil
+	}
+	return rt.checker.Violations()
+}
+
+// DropsByReason aggregates the per-reason MAC drop counters across all
+// links, keyed by reason name. Every reason appears, zero or not, so
+// reports have a stable shape.
+func (rt *Runtime) DropsByReason() map[string]int {
+	out := make(map[string]int, int(mac.NumDropReasons))
+	for r := mac.DropReason(0); r < mac.NumDropReasons; r++ {
+		out[r.String()] = 0
+	}
+	for l := 0; l < rt.Em.Net.NumLinks(); l++ {
+		id := graph.LinkID(l)
+		st := rt.Em.Domain(rt.Em.LinkDomain(id)).MAC.Stats(id)
+		for r := mac.DropReason(0); r < mac.NumDropReasons; r++ {
+			out[r.String()] += st.Dropped[r]
+		}
+	}
+	return out
 }
 
 // merge rebuilds the exported observation fields from the per-domain
@@ -352,8 +443,10 @@ func (rt *Runtime) bindEvent(ev Event) (boundEvent, error) {
 	be := boundEvent{Event: ev, node: -1}
 	var err error
 	switch ev.Kind {
-	case LinkFail, LinkRecover, SetCapacity, ScaleCapacity:
+	case LinkFail, LinkRecover, SetCapacity, ScaleCapacity, SetLoss:
 		be.links, err = resolveLink(rt.Em.Net, *ev.Link)
+	case GroupFail, GroupRecover:
+		be.links, err = rt.resolveGroup(ev.Group)
 	case NodeLeave, NodeJoin:
 		be.node, err = resolveNode(rt.Em.Net, ev.Node)
 	case FlowStart:
@@ -394,6 +487,12 @@ func (d *rtDomain) apply(be boundEvent) {
 		d.fail(be.links)
 	case LinkRecover:
 		d.recoverLinks(be.links)
+	case GroupFail:
+		d.fail(be.links)
+	case GroupRecover:
+		d.recoverLinks(be.links)
+	case SetLoss:
+		d.setLoss(be.links, be.Loss)
 	case SetCapacity:
 		d.setCapacities(be.Kind, be.links, be.Capacity)
 	case ScaleCapacity:
@@ -487,6 +586,58 @@ func (d *rtDomain) setCapacity(kind EventKind, l graph.LinkID, c float64) {
 	} else if c > 0 && was <= 0 {
 		d.closeFailures([]graph.LinkID{l}, now)
 	}
+}
+
+// setLoss applies a gray-failure phase: the links stay up (capacity
+// unchanged, so no failure windows open) but every packet is lost with
+// the given probability. Estimation sees the loss through the effective
+// capacity it samples, so detection happens through the same noisy
+// channel the paper's schemes rely on — no oracle side-channel.
+func (d *rtDomain) setLoss(links []graph.LinkID, p float64) {
+	now := d.em.Engine.Now()
+	for _, l := range links {
+		if d.rt.Em.LinkLoss(l) == p {
+			continue
+		}
+		d.rt.Em.SetLinkLoss(l, p)
+		d.transitions = append(d.transitions, Transition{At: now, Kind: SetLoss, Link: l, Loss: p})
+	}
+}
+
+// resolveGroup maps a correlated failure group's name to the concrete
+// links of its members. In lenient mode members that don't resolve on
+// this network are skipped (mirroring single-link events on partial
+// views); a group with no resolvable member at all is an error either
+// way.
+func (rt *Runtime) resolveGroup(name string) ([]graph.LinkID, error) {
+	for _, g := range rt.Scenario.Groups {
+		if g.Name != name {
+			continue
+		}
+		var links []graph.LinkID
+		var firstErr error
+		for _, ref := range g.Links {
+			ls, err := resolveLink(rt.Em.Net, ref)
+			if err != nil {
+				if rt.opts.Strict {
+					return nil, fmt.Errorf("scenario: group %q: %w", name, err)
+				}
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			links = append(links, ls...)
+		}
+		if len(links) == 0 {
+			if firstErr != nil {
+				return nil, fmt.Errorf("scenario: group %q: %w", name, firstErr)
+			}
+			return nil, fmt.Errorf("scenario: group %q resolved no links", name)
+		}
+		return links, nil
+	}
+	return nil, fmt.Errorf("scenario: no group %q", name)
 }
 
 // nodeLinks returns the node's live links (both directions).

@@ -27,17 +27,25 @@ func expandProcesses(sc *Scenario, net *graph.Network, seed int64) []Event {
 			out = append(out, expandDrift(p, sc.Duration, rng)...)
 		case ProcPoissonFlows:
 			out = append(out, expandPoisson(p, i, sc.Duration, net, rng)...)
+		case ProcGrayLoss:
+			out = append(out, expandGrayLoss(p, sc.Duration, rng)...)
+		case ProcFlashCrowd:
+			out = append(out, expandFlashCrowd(p, i, sc.Duration, net, rng)...)
 		}
 	}
 	return out
 }
 
-// expandFlap alternates fail/recover (or leave/join) with exponential
-// holding times.
+// expandFlap alternates fail/recover (or leave/join for a node target,
+// group-fail/group-recover for a group target) with exponential holding
+// times.
 func expandFlap(p Process, duration float64, rng *rand.Rand) []Event {
 	fail, recover := LinkFail, LinkRecover
-	if p.Node != "" {
+	switch {
+	case p.Node != "":
 		fail, recover = NodeLeave, NodeJoin
+	case p.Group != "":
+		fail, recover = GroupFail, GroupRecover
 	}
 	t := p.FirstAt
 	if t <= 0 {
@@ -45,12 +53,34 @@ func expandFlap(p Process, duration float64, rng *rand.Rand) []Event {
 	}
 	var out []Event
 	for t < duration {
-		out = append(out, Event{At: t, Kind: fail, Link: p.Link, Node: p.Node})
+		out = append(out, Event{At: t, Kind: fail, Link: p.Link, Node: p.Node, Group: p.Group})
 		t += rng.ExpFloat64() * p.DownMean
 		if t >= duration {
 			break
 		}
-		out = append(out, Event{At: t, Kind: recover, Link: p.Link, Node: p.Node})
+		out = append(out, Event{At: t, Kind: recover, Link: p.Link, Node: p.Node, Group: p.Group})
+		t += rng.ExpFloat64() * p.UpMean
+	}
+	return out
+}
+
+// expandGrayLoss alternates the link between a lossy phase (set-loss at
+// p.Loss) and a clean phase (set-loss 0), mirroring expandFlap's timing
+// structure: first lossy phase at FirstAt (or an exponential draw into
+// the clean phase), exponential holding times.
+func expandGrayLoss(p Process, duration float64, rng *rand.Rand) []Event {
+	t := p.FirstAt
+	if t <= 0 {
+		t = rng.ExpFloat64() * p.UpMean
+	}
+	var out []Event
+	for t < duration {
+		out = append(out, Event{At: t, Kind: SetLoss, Link: p.Link, Loss: p.Loss})
+		t += rng.ExpFloat64() * p.DownMean
+		if t >= duration {
+			break
+		}
+		out = append(out, Event{At: t, Kind: SetLoss, Link: p.Link})
 		t += rng.ExpFloat64() * p.UpMean
 	}
 	return out
@@ -95,16 +125,9 @@ func expandDrift(p Process, duration float64, rng *rand.Rand) []Event {
 // topology.Instance.RandomFlow; whether a route exists is decided at the
 // event time, on the network as it then is.
 func expandPoisson(p Process, index int, duration float64, net *graph.Network, rng *rand.Rand) []Event {
-	var sources []graph.NodeID
-	if p.Src == "" {
-		for i := 0; i < net.NumNodes(); i++ {
-			if len(net.Out(graph.NodeID(i))) > 0 {
-				sources = append(sources, graph.NodeID(i))
-			}
-		}
-		if len(sources) == 0 {
-			return nil
-		}
+	sources := egressSources(net)
+	if p.Src == "" && len(sources) == 0 {
+		return nil
 	}
 	t := p.FirstAt
 	var out []Event
@@ -120,13 +143,7 @@ func expandPoisson(p Process, index int, duration float64, net *graph.Network, r
 			Start: t,
 		}
 		if p.Src == "" {
-			src := sources[rng.Intn(len(sources))]
-			dst := graph.NodeID(rng.Intn(net.NumNodes() - 1))
-			if dst >= src {
-				dst++
-			}
-			spec.Src = strconv.Itoa(int(src))
-			spec.Dst = strconv.Itoa(int(dst))
+			drawPair(&spec, sources, net, rng)
 		}
 		if p.FileBytes > 0 {
 			spec.Kind = "file"
@@ -137,4 +154,86 @@ func expandPoisson(p Process, index int, duration float64, net *graph.Network, r
 		f := spec
 		out = append(out, Event{At: t, Kind: FlowStart, Flow: &f})
 	}
+}
+
+// expandFlashCrowd emits bursts of near-simultaneous flow starts: Count
+// flows per burst, each offset uniformly within the Spread window —
+// synchronized demand the Poisson process's independent arrivals never
+// produce (everyone starting a stream when the match kicks off). Burst
+// times follow expandPoisson's arrival structure when Rate is positive;
+// Rate 0 is a single scripted burst at FirstAt.
+func expandFlashCrowd(p Process, index int, duration float64, net *graph.Network, rng *rand.Rand) []Event {
+	sources := egressSources(net)
+	if p.Src == "" && len(sources) == 0 {
+		return nil
+	}
+	spread := p.Spread
+	if spread <= 0 {
+		spread = 1
+	}
+	var out []Event
+	burst := func(b int, at float64) {
+		for k := 0; k < p.Count; k++ {
+			t := at + rng.Float64()*spread
+			if t >= duration {
+				continue
+			}
+			spec := FlowSpec{
+				Name:  fmt.Sprintf("crowd-%d-%d-%d", index, b, k),
+				Src:   p.Src,
+				Dst:   p.Dst,
+				Start: t,
+			}
+			if p.Src == "" {
+				drawPair(&spec, sources, net, rng)
+			}
+			if p.FileBytes > 0 {
+				spec.Kind = "file"
+				spec.FileBytes = p.FileBytes
+			} else {
+				spec.Stop = t + rng.ExpFloat64()*p.HoldMean
+			}
+			f := spec
+			out = append(out, Event{At: t, Kind: FlowStart, Flow: &f})
+		}
+	}
+	if p.Rate <= 0 {
+		if p.FirstAt < duration {
+			burst(0, p.FirstAt)
+		}
+		return out
+	}
+	t := p.FirstAt
+	for b := 0; ; b++ {
+		t += rng.ExpFloat64() / p.Rate
+		if t >= duration {
+			return out
+		}
+		burst(b, t)
+	}
+}
+
+// egressSources lists the nodes random flow pairs may start from (those
+// with at least one egress link).
+func egressSources(net *graph.Network) []graph.NodeID {
+	var sources []graph.NodeID
+	for i := 0; i < net.NumNodes(); i++ {
+		if len(net.Out(graph.NodeID(i))) > 0 {
+			sources = append(sources, graph.NodeID(i))
+		}
+	}
+	return sources
+}
+
+// drawPair fills a random (src, dst) pair: the source uniform among
+// nodes with egress links, the destination among the remaining nodes,
+// mirroring topology.Instance.RandomFlow.
+func drawPair(spec *FlowSpec, sources []graph.NodeID, net *graph.Network, rng *rand.Rand) {
+	src := sources[rng.Intn(len(sources))]
+	dst := graph.NodeID(rng.Intn(net.NumNodes() - 1))
+	if dst >= src {
+		dst++
+	}
+	spec.Src = strconv.Itoa(int(src))
+	spec.Dst = strconv.Itoa(int(dst))
 }

@@ -50,6 +50,18 @@ type Scenario struct {
 	// Processes are stochastic event generators (flapping links, capacity
 	// drift, Poisson flow arrivals), expanded deterministically at Bind.
 	Processes []Process `json:"processes,omitempty"`
+	// Groups name sets of links that fail and recover atomically —
+	// correlated failures sharing a physical cause, like every PLC link
+	// on one mains phase dying with the appliance that shorts it.
+	// Group-fail/group-recover events and group-targeted flap processes
+	// reference them by name.
+	Groups []GroupSpec `json:"groups,omitempty"`
+}
+
+// GroupSpec names a set of links for correlated failure events.
+type GroupSpec struct {
+	Name  string    `json:"name"`
+	Links []LinkRef `json:"links"`
 }
 
 // EventKind enumerates the timeline mutations.
@@ -81,6 +93,18 @@ const (
 	FlowStart EventKind = "flow-start"
 	// FlowStop stops the flow named Event.FlowName.
 	FlowStop EventKind = "flow-stop"
+	// SetLoss sets the referenced link's channel error probability to
+	// Event.Loss — a gray failure: the link stays up and keeps consuming
+	// airtime, but a fraction of its frames is corrupted at reception.
+	// Loss 0 restores a clean channel.
+	SetLoss EventKind = "set-loss"
+	// GroupFail fails every link of the named group atomically (one
+	// event, one shared cause — a PLC phase outage takes all its links
+	// in the same instant).
+	GroupFail EventKind = "group-fail"
+	// GroupRecover restores the named group's links, like LinkRecover
+	// does for a single reference.
+	GroupRecover EventKind = "group-recover"
 )
 
 // LinkRef names a link by its endpoints and technology. Nodes are
@@ -137,6 +161,15 @@ const (
 	// ProcPoissonFlows adds flows with Poisson arrivals and exponential
 	// holding times between a fixed or random pair.
 	ProcPoissonFlows = "poisson-flows"
+	// ProcGrayLoss alternates the referenced link between a lossy phase
+	// (channel error probability Loss) and a clean phase, with
+	// exponential holding times — the flap process's gray sibling: the
+	// link never goes down, it just starts corrupting frames.
+	ProcGrayLoss = "gray-loss"
+	// ProcFlashCrowd adds bursts of simultaneous flow arrivals: at each
+	// burst time, Count flows start within a short Spread window — the
+	// load spike a Poisson process never produces.
+	ProcFlashCrowd = "flash-crowd"
 )
 
 // Process is a stochastic event generator. Expansion happens at Bind
@@ -144,10 +177,12 @@ const (
 // so the realized timeline depends only on (scenario, seed).
 type Process struct {
 	Kind string `json:"kind"`
-	// Link targets ProcFlap / ProcDrift at a link; Node targets ProcFlap
-	// at a whole node (churn).
-	Link *LinkRef `json:"link,omitempty"`
-	Node string   `json:"node,omitempty"`
+	// Link targets ProcFlap / ProcDrift / ProcGrayLoss at a link; Node
+	// targets ProcFlap at a whole node (churn); Group targets ProcFlap
+	// at a named link group (correlated flapping).
+	Link  *LinkRef `json:"link,omitempty"`
+	Node  string   `json:"node,omitempty"`
+	Group string   `json:"group,omitempty"`
 
 	// FirstAt is the time of the first transition (flap: first failure;
 	// drift: first step; arrivals: start of the arrival window).
@@ -175,6 +210,16 @@ type Process struct {
 	// FileBytes > 0 makes arrivals file transfers of that size instead
 	// of holding-time-bounded saturated flows.
 	FileBytes int64 `json:"file_bytes,omitempty"`
+
+	// Loss is ProcGrayLoss's channel error probability during the lossy
+	// phase (0 < Loss <= 1).
+	Loss float64 `json:"loss,omitempty"`
+	// Count is the number of flows per ProcFlashCrowd burst; Spread the
+	// window (seconds, default 1) the burst's arrivals scatter over. A
+	// positive Rate draws recurring burst times with exponential gaps of
+	// mean 1/Rate after FirstAt; Rate 0 fires a single burst at FirstAt.
+	Count  int     `json:"count,omitempty"`
+	Spread float64 `json:"spread,omitempty"`
 }
 
 // Event is one timed mutation of the running emulation.
@@ -187,6 +232,10 @@ type Event struct {
 	Factor   float64   `json:"factor,omitempty"`
 	Flow     *FlowSpec `json:"flow,omitempty"`
 	FlowName string    `json:"flow_name,omitempty"`
+	// Loss is the channel error probability for SetLoss events.
+	Loss float64 `json:"loss,omitempty"`
+	// Group names the link group for GroupFail/GroupRecover events.
+	Group string `json:"group,omitempty"`
 }
 
 // New starts a scenario of the given name and duration (builder API).
@@ -223,6 +272,32 @@ func (s *Scenario) RecoverLink(t float64, ref LinkRef) *Scenario {
 func (s *Scenario) SetLinkCapacity(t float64, ref LinkRef, capacity float64) *Scenario {
 	r := ref
 	s.Events = append(s.Events, Event{At: t, Kind: SetCapacity, Link: &r, Capacity: capacity})
+	return s
+}
+
+// SetLinkLoss schedules a gray failure at time t: the link's channel
+// error probability becomes p (0 restores a clean channel).
+func (s *Scenario) SetLinkLoss(t float64, ref LinkRef, p float64) *Scenario {
+	r := ref
+	s.Events = append(s.Events, Event{At: t, Kind: SetLoss, Link: &r, Loss: p})
+	return s
+}
+
+// Group declares a named link group for correlated failure events.
+func (s *Scenario) Group(name string, links ...LinkRef) *Scenario {
+	s.Groups = append(s.Groups, GroupSpec{Name: name, Links: links})
+	return s
+}
+
+// FailGroup schedules the atomic failure of a named link group at time t.
+func (s *Scenario) FailGroup(t float64, name string) *Scenario {
+	s.Events = append(s.Events, Event{At: t, Kind: GroupFail, Group: name})
+	return s
+}
+
+// RecoverGroup schedules the named group's recovery at time t.
+func (s *Scenario) RecoverGroup(t float64, name string) *Scenario {
+	s.Events = append(s.Events, Event{At: t, Kind: GroupRecover, Group: name})
 	return s
 }
 
@@ -263,6 +338,38 @@ func (s *Scenario) FlapNode(node string, firstAt, downMean, upMean float64) *Sce
 	return s
 }
 
+// FlapGroup adds a correlated flapping process: the whole named group
+// fails and recovers atomically with exponential holding times.
+func (s *Scenario) FlapGroup(group string, firstAt, downMean, upMean float64) *Scenario {
+	s.Processes = append(s.Processes, Process{
+		Kind: ProcFlap, Group: group, FirstAt: firstAt, DownMean: downMean, UpMean: upMean,
+	})
+	return s
+}
+
+// GrayLoss adds a gray-failure process on a link: lossy phases at
+// channel error probability p alternating with clean phases, first
+// lossy phase at firstAt, exponential holding times.
+func (s *Scenario) GrayLoss(ref LinkRef, p, firstAt, downMean, upMean float64) *Scenario {
+	r := ref
+	s.Processes = append(s.Processes, Process{
+		Kind: ProcGrayLoss, Link: &r, Loss: p, FirstAt: firstAt, DownMean: downMean, UpMean: upMean,
+	})
+	return s
+}
+
+// FlashCrowd adds a flow-burst process: bursts of count flows (each
+// scattered over spread seconds, living an exponential holdMean) at
+// exponential burst gaps of mean 1/rate after firstAt; rate 0 fires a
+// single burst at firstAt. Empty src/dst draws a random pair per flow.
+func (s *Scenario) FlashCrowd(firstAt, rate float64, count int, spread, holdMean float64, src, dst string) *Scenario {
+	s.Processes = append(s.Processes, Process{
+		Kind: ProcFlashCrowd, FirstAt: firstAt, Rate: rate, Count: count,
+		Spread: spread, HoldMean: holdMean, Src: src, Dst: dst,
+	})
+	return s
+}
+
 // Drift adds a capacity-drift process on a link: every interval seconds
 // the capacity moves one lognormal random-walk step (std per step),
 // clamped to [floor, ceil] times the bind-time capacity.
@@ -289,6 +396,19 @@ func (s *Scenario) PoissonFlows(rate, holdMean float64, src, dst string) *Scenar
 func (s *Scenario) Validate() error {
 	if s.Duration <= 0 {
 		return fmt.Errorf("scenario %q: duration must be positive, got %g", s.Name, s.Duration)
+	}
+	groups := map[string]bool{}
+	for i, g := range s.Groups {
+		if g.Name == "" {
+			return fmt.Errorf("scenario %q: group %d has no name", s.Name, i)
+		}
+		if groups[g.Name] {
+			return fmt.Errorf("scenario %q: duplicate group name %q", s.Name, g.Name)
+		}
+		if len(g.Links) == 0 {
+			return fmt.Errorf("scenario %q: group %q has no links", s.Name, g.Name)
+		}
+		groups[g.Name] = true
 	}
 	names := map[string]bool{}
 	checkFlow := func(f FlowSpec, what string) error {
@@ -324,6 +444,20 @@ func (s *Scenario) Validate() error {
 			if ev.Link == nil {
 				return fmt.Errorf("scenario %q: %s event %d needs a link", s.Name, ev.Kind, i)
 			}
+		case SetLoss:
+			if ev.Link == nil {
+				return fmt.Errorf("scenario %q: set-loss event %d needs a link", s.Name, i)
+			}
+			if ev.Loss < 0 || ev.Loss > 1 {
+				return fmt.Errorf("scenario %q: set-loss event %d needs loss in [0,1], got %g", s.Name, i, ev.Loss)
+			}
+		case GroupFail, GroupRecover:
+			if ev.Group == "" {
+				return fmt.Errorf("scenario %q: %s event %d needs a group", s.Name, ev.Kind, i)
+			}
+			if !groups[ev.Group] {
+				return fmt.Errorf("scenario %q: %s event %d references unknown group %q", s.Name, ev.Kind, i, ev.Group)
+			}
 		case NodeLeave, NodeJoin:
 			if ev.Node == "" {
 				return fmt.Errorf("scenario %q: %s event %d needs a node", s.Name, ev.Kind, i)
@@ -346,11 +480,47 @@ func (s *Scenario) Validate() error {
 	for i, p := range s.Processes {
 		switch p.Kind {
 		case ProcFlap:
-			if (p.Link == nil) == (p.Node == "") {
-				return fmt.Errorf("scenario %q: flap process %d needs exactly one of link or node", s.Name, i)
+			targets := 0
+			if p.Link != nil {
+				targets++
+			}
+			if p.Node != "" {
+				targets++
+			}
+			if p.Group != "" {
+				targets++
+				if !groups[p.Group] {
+					return fmt.Errorf("scenario %q: flap process %d references unknown group %q", s.Name, i, p.Group)
+				}
+			}
+			if targets != 1 {
+				return fmt.Errorf("scenario %q: flap process %d needs exactly one of link, node or group", s.Name, i)
 			}
 			if p.DownMean <= 0 || p.UpMean <= 0 {
 				return fmt.Errorf("scenario %q: flap process %d needs positive down_mean and up_mean", s.Name, i)
+			}
+		case ProcGrayLoss:
+			if p.Link == nil {
+				return fmt.Errorf("scenario %q: gray-loss process %d needs a link", s.Name, i)
+			}
+			if p.Loss <= 0 || p.Loss > 1 {
+				return fmt.Errorf("scenario %q: gray-loss process %d needs loss in (0,1], got %g", s.Name, i, p.Loss)
+			}
+			if p.DownMean <= 0 || p.UpMean <= 0 {
+				return fmt.Errorf("scenario %q: gray-loss process %d needs positive down_mean and up_mean", s.Name, i)
+			}
+		case ProcFlashCrowd:
+			if p.Count <= 0 {
+				return fmt.Errorf("scenario %q: flash-crowd process %d needs a positive count", s.Name, i)
+			}
+			if p.Rate < 0 || p.Spread < 0 {
+				return fmt.Errorf("scenario %q: flash-crowd process %d needs non-negative rate and spread", s.Name, i)
+			}
+			if p.HoldMean <= 0 && p.FileBytes <= 0 {
+				return fmt.Errorf("scenario %q: flash-crowd process %d needs hold_mean or file_bytes", s.Name, i)
+			}
+			if (p.Src == "") != (p.Dst == "") {
+				return fmt.Errorf("scenario %q: flash-crowd process %d needs both src and dst, or neither", s.Name, i)
 			}
 		case ProcDrift:
 			if p.Link == nil {

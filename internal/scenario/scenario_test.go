@@ -430,6 +430,131 @@ func TestDriftDoesNotResurrectDeadLink(t *testing.T) {
 	}
 }
 
+// TestGrayLossWiresMACLossProb drives a gray-failure window through the
+// engine: the set-loss event must land in the MAC's per-link loss
+// probability, actually drop packets with the channel-loss reason, and
+// record a Loss-carrying transition — all without tripping the runtime
+// invariant checker (a gray failure is a legal trajectory).
+func TestGrayLossWiresMACLossProb(t *testing.T) {
+	net, s, d := twoRouteNet(t)
+	plc := net.FindLink(s, d, graph.TechPLC)
+	sc := New("gray", 60)
+	sc.AddFlow(FlowSpec{Name: "f", Src: "s", Dst: "d", Start: 0})
+	// down_mean far beyond the duration: the first window opens at t=5
+	// and stays open, so the end state is deterministic.
+	sc.GrayLoss(Link("s", "d", graph.TechPLC), 0.3, 5, 1e6, 10)
+
+	em := node.NewEmulation(net, node.Config{Estimation: true}, 21)
+	rt, err := Bind(em, sc, 9, Options{Strict: true, Invariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Run()
+	if got := em.LinkLoss(plc); got != 0.3 {
+		t.Errorf("MAC loss probability %.2f after the run, want the 0.3 the window set", got)
+	}
+	found := false
+	for _, tr := range rt.Transitions {
+		if tr.Kind == SetLoss && tr.Link == plc && tr.Loss == 0.3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no set-loss transition with loss 0.3 recorded")
+	}
+	if n := rt.DropsByReason()["channel-loss"]; n == 0 {
+		t.Error("0 channel-loss drops across 55 s of 30% loss under load")
+	}
+	if v := rt.Violations(); len(v) != 0 {
+		t.Errorf("invariant checker flagged a legal gray-failure run: %v", v)
+	}
+}
+
+// TestGroupFailKillsAndRestoresMembers pins correlated failures: a
+// group-fail event must kill exactly the member links in one virtual
+// instant, and group-recover must restore exactly those.
+func TestGroupFailKillsAndRestoresMembers(t *testing.T) {
+	b := graph.NewBuilder(nil)
+	s := b.AddNode("s", 0, 0, graph.TechPLC, graph.TechWiFi)
+	d := b.AddNode("d", 1, 0, graph.TechPLC, graph.TechWiFi)
+	b.AddDuplex(s, d, graph.TechPLC, 40)
+	b.AddDuplex(s, d, graph.TechWiFi, 40)
+	net := b.Build()
+	plc := net.FindLink(s, d, graph.TechPLC)
+	wifi := net.FindLink(s, d, graph.TechWiFi)
+
+	sc := New("group", 60)
+	sc.AddFlow(FlowSpec{Name: "f", Src: "s", Dst: "d", Start: 0})
+	sc.Group("phase", Link("s", "d", graph.TechPLC))
+	sc.FailGroup(20, "phase")
+	sc.RecoverGroup(40, "phase")
+
+	em := node.NewEmulation(net, node.Config{Estimation: true}, 23)
+	rt, err := Bind(em, sc, 3, Options{Strict: true, Invariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em.Run(30)
+	if c := net.Link(plc).Capacity; c != 0 {
+		t.Fatalf("group member capacity %.1f inside the failure window, want 0", c)
+	}
+	if c := net.Link(wifi).Capacity; c != 40 {
+		t.Fatalf("non-member capacity %.1f inside the failure window, want untouched 40", c)
+	}
+	rt.Run()
+	if c := net.Link(plc).Capacity; c != 40 {
+		t.Fatalf("group member capacity %.1f after recovery, want 40", c)
+	}
+	if len(rt.Failures) == 0 {
+		t.Error("group failure opened no failure episode for the crossing flow")
+	}
+	if v := rt.Violations(); len(v) != 0 {
+		t.Errorf("invariant checker flagged a legal group-failure run: %v", v)
+	}
+}
+
+// TestFlashCrowdExpansion covers the flash-crowd process: deterministic
+// expansion per seed, the full burst arriving, and the crowd flows
+// actually running and departing.
+func TestFlashCrowdExpansion(t *testing.T) {
+	net, _, _ := twoRouteNet(t)
+	sc := New("crowd", 40)
+	sc.AddFlow(FlowSpec{Name: "f", Src: "s", Dst: "d", Start: 0})
+	sc.FlashCrowd(10, 0, 4, 2, 5, "s", "d")
+
+	e1 := expandProcesses(sc, net, 42)
+	e2 := expandProcesses(sc, net, 42)
+	if !reflect.DeepEqual(e1, e2) {
+		t.Fatal("same seed expanded to different crowd timelines")
+	}
+	if len(e1) != 4 {
+		t.Fatalf("single burst of 4 expanded to %d events", len(e1))
+	}
+
+	em := node.NewEmulation(net, node.Config{Estimation: true}, 27)
+	rt, err := Bind(em, sc, 42, Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Run()
+	crowd, stopped := 0, 0
+	for _, name := range rt.FlowNames() {
+		if name == "f" {
+			continue
+		}
+		crowd++
+		if rt.Flow(name).StoppedAt > 0 {
+			stopped++
+		}
+	}
+	if crowd != 4 {
+		t.Fatalf("started %d crowd flows, want the full burst of 4", crowd)
+	}
+	if stopped == 0 {
+		t.Error("no crowd flow departed despite 5 s mean holding time over 30 s")
+	}
+}
+
 // TestValidateRejectsDuplicateFlowNames covers scripted flows, event
 // flows, and the cross product of both.
 func TestValidateRejectsDuplicateFlowNames(t *testing.T) {
