@@ -14,8 +14,10 @@
 //
 // On the first failure the scenario is greedily minimized and written
 // as a reproducer JSON (strict schema — it reloads through
-// scenario.Load and replays with empower-scenario), and the process
-// exits non-zero.
+// scenario.Load and replays with empower-scenario), the minimized
+// reproducer is replayed with the flight recorder attached and dumped
+// as a Chrome trace-event JSON next to it (open in Perfetto), and the
+// process exits non-zero.
 //
 // Flags:
 //
@@ -85,6 +87,9 @@ func main() {
 		if f.Repro != "" {
 			fmt.Fprintf(os.Stderr, "  reproducer: %s (timeline seed %d, emulation seed %d)\n",
 				f.Repro, f.TimelineSeed, f.EmuSeed)
+		}
+		if f.Trace != "" {
+			fmt.Fprintf(os.Stderr, "  flight-recorder trace: %s (Chrome trace-event JSON; open in Perfetto)\n", f.Trace)
 		}
 		os.Exit(1)
 	}

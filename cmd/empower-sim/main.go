@@ -15,9 +15,17 @@
 //	-seed N        base RNG seed
 //	-parallel N    worker pool size (<= 0: GOMAXPROCS)
 //	-json          emit one JSON object per figure on stdout instead of text
-//	-progress      report sweep progress on stderr
+//	-progress      live progress line (done/total, reps/sec, ETA) on stderr
 //	-out DIR       also write plottable TSV CDF files
 //	-slots N       controller slots per run (default 4000)
+//	-metrics target  publish Prometheus snapshots of the sweep's runner
+//	               throughput and worker utilization: a file path is
+//	               rewritten every 2 s, ":8080" / "host:port" serves
+//	               /metrics over HTTP
+//	-pprof addr    serve net/http/pprof on addr (e.g. ":6060")
+//
+// The observability flags are purely observational: figure output stays
+// byte-identical with them on or off at the same seed and worker count.
 //
 // Usage:
 //
@@ -35,9 +43,12 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/runner"
 	"repro/internal/trace"
 )
 
@@ -51,6 +62,8 @@ func main() {
 	progress := flag.Bool("progress", false, "report sweep progress on stderr")
 	slots := flag.Int("slots", 0, "controller slots per run (default 4000)")
 	out := flag.String("out", "", "directory for plottable TSV data files (optional)")
+	metrics := flag.String("metrics", "", "Prometheus snapshots: file path, or :port / host:port to serve /metrics")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address")
 	flag.Parse()
 
 	if *fig != "all" && !oneOf(*fig, "4", "5", "6", "7", "convergence") {
@@ -72,6 +85,24 @@ func main() {
 		Parallel: *parallel,
 	}
 
+	if *pprofAddr != "" {
+		fail(obs.ServePprof(*pprofAddr))
+	}
+	if *metrics != "" {
+		// The simulation figures run flow-level solves, not packet
+		// emulations, so the snapshots carry the runner series only:
+		// replications completed, completion rate, worker utilization.
+		agg := obs.NewAggregator()
+		emitter, err := obs.StartEmitter(*metrics, agg, 0)
+		fail(err)
+		defer emitter.Close()
+		rs := obs.NewRunnerStats(runner.PoolSize(*parallel))
+		cfg.JobTime = func(d time.Duration) {
+			rs.JobTime(d)
+			agg.With(rs.Sample)
+		}
+	}
+
 	var topos []experiments.Topo
 	switch strings.ToLower(*topo) {
 	case "residential":
@@ -85,11 +116,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	var line *obs.ProgressLine
+
 	enc := json.NewEncoder(os.Stdout)
 	// emit prints one figure in the selected output mode. The JSON
 	// envelope names the figure and topology so streams of objects stay
 	// self-describing.
 	emit := func(figure string, t fmt.Stringer, result any, render func() string) {
+		line.Finish()
 		if *jsonOut {
 			envelope := struct {
 				Figure string `json:"figure"`
@@ -113,13 +147,8 @@ func main() {
 	for _, t := range topos {
 		tcfg := cfg
 		if *progress {
-			tt := t
-			tcfg.Progress = func(done, total int) {
-				fmt.Fprintf(os.Stderr, "\r%-12s %4d/%d", tt, done, total)
-				if done == total {
-					fmt.Fprintln(os.Stderr)
-				}
-			}
+			line = obs.NewProgressLine(os.Stderr, t.String())
+			tcfg.Progress = line.Update
 		}
 		if want("4") || want("5") {
 			f4, err := experiments.Figure4Ctx(ctx, t, tcfg)

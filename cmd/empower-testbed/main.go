@@ -24,6 +24,17 @@
 //	               per core). The testbed floor is one interference
 //	               domain, so this only matters for sharded-engine
 //	               comparisons; it never changes the numbers
+//	-metrics target  publish Prometheus metric snapshots: a file path is
+//	               rewritten every 2 s (atomic rename), ":8080" or
+//	               "host:port" serves /metrics over HTTP
+//	-pprof addr    serve net/http/pprof on addr (e.g. ":6060")
+//	-progress      live progress line (done/total, reps/sec, ETA) on stderr
+//	-drops         append a per-reason MAC drop report (queue overflow,
+//	               link down, channel loss, dead link) after the figures
+//
+// The observability flags are purely observational: figure output stays
+// byte-identical with them on or off at the same seed and worker count
+// (-drops appends its report after the figures without altering them).
 //
 // Usage:
 //
@@ -40,9 +51,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/node"
+	"repro/internal/obs"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -58,6 +72,10 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit results as JSON objects on stdout")
 	delta := flag.Float64("delta", 0.05, "constraint margin δ")
 	shards := flag.Int("shards", 1, "domain-shard workers per emulation (0: one per core)")
+	metrics := flag.String("metrics", "", "Prometheus snapshots: file path, or :port / host:port to serve /metrics")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address")
+	progress := flag.Bool("progress", false, "live progress line on stderr")
+	drops := flag.Bool("drops", false, "append a per-reason MAC drop report after the figures")
 	flag.Parse()
 
 	if *runs > 0 {
@@ -73,8 +91,35 @@ func main() {
 		Parallel: *parallel, Shards: shardsValue(*shards),
 	}
 
+	if *pprofAddr != "" {
+		fail(obs.ServePprof(*pprofAddr))
+	}
+	if *metrics != "" {
+		cfg.Metrics = obs.NewAggregator()
+		emitter, err := obs.StartEmitter(*metrics, cfg.Metrics, 0)
+		fail(err)
+		defer emitter.Close()
+		// Runner throughput and utilization ride the same snapshots,
+		// refreshed after every finished replication.
+		rs := obs.NewRunnerStats(runner.PoolSize(*parallel))
+		agg := cfg.Metrics
+		cfg.JobTime = func(d time.Duration) {
+			rs.JobTime(d)
+			agg.With(rs.Sample)
+		}
+	}
+	var line *obs.ProgressLine
+	if *progress {
+		line = obs.NewProgressLine(os.Stderr, "replications")
+		cfg.Progress = line.Update
+	}
+	if *drops {
+		cfg.Drops = &experiments.DropTally{}
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	emit := func(figure string, result any, render func() string) {
+		line.Finish()
 		if *jsonOut {
 			envelope := struct {
 				Figure string `json:"figure"`
@@ -131,6 +176,9 @@ func main() {
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *drops {
+		fmt.Print(cfg.Drops.Render())
 	}
 }
 

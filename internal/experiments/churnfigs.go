@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/stats"
@@ -57,6 +59,31 @@ type ChurnConfig struct {
 	// totals in the result rows. Off, the output stays byte-identical
 	// to a build without the checker.
 	Invariants bool
+	// Recorder sizes the per-domain flight recorder of each
+	// replication's emulation (node.Config.Recorder; 0 disables). With
+	// Invariants set, a zero Recorder defaults to 256 records so
+	// violation reports carry their domain's event tail. Recording is
+	// observational: results are bit-identical with it on or off.
+	Recorder int
+	// Progress, when non-nil, receives (done, total) after every
+	// finished replication (serialized, completion order).
+	Progress func(done, total int)
+	// JobTime, when non-nil, receives each replication's wall-clock
+	// duration (serialized with Progress).
+	JobTime func(d time.Duration)
+	// Metrics, when non-nil, aggregates every replication's sampled
+	// registry — the -metrics plumbing of the sweep CLIs.
+	Metrics *obs.Aggregator
+	// Phases, when non-nil, accumulates the bind/run/collect wall-clock
+	// breakdown across replications.
+	Phases *obs.Phases
+}
+
+func (c ChurnConfig) recorder() int {
+	if c.Recorder == 0 && c.Invariants {
+		return 256
+	}
+	return c.Recorder
 }
 
 func (c ChurnConfig) runs() int {
@@ -133,6 +160,10 @@ type ChurnRow struct {
 	// byte-stable).
 	Drops      map[string]int `json:"drops,omitempty"`
 	Violations int            `json:"violations,omitempty"`
+	// ViolationDetails carries each violation line together with the
+	// owning domain's flight-recorder tail (Invariants only; absent
+	// when no violation fired).
+	ViolationDetails []string `json:"violation_details,omitempty"`
 }
 
 // ChurnResult is the failover experiment outcome.
@@ -144,22 +175,21 @@ type ChurnResult struct {
 
 // churnRun is one (run, scheme) replication outcome.
 type churnRun struct {
-	lat        []float64
-	censored   int
-	goodput    float64
-	degraded   []float64
-	reroutes   int
-	skipped    int
-	drops      map[string]int
-	violations int
+	lat              []float64
+	censored         int
+	goodput          float64
+	degraded         []float64
+	reroutes         int
+	skipped          int
+	drops            map[string]int
+	violations       int
+	violationDetails []string
 }
 
-// churnReplication executes one scenario replication under one scheme.
-// All seeds are pure functions of (base seed, run, scheme position), so
-// sweeps are bit-identical at any worker count; the topology realization
-// and the expanded event timeline depend only on the run, so schemes are
-// compared on paired instances.
-func churnReplication(sc *scenario.Scenario, scheme core.Scheme, cfg ChurnConfig, run int, emSeed int64) (*churnRun, error) {
+// bindChurn builds one (run, scheme) replication's emulation and binds
+// the scenario to it — shared by the sweep replications and the trace
+// re-runs, so both see the identical trajectory for a given seed pair.
+func bindChurn(sc *scenario.Scenario, scheme core.Scheme, cfg ChurnConfig, run int, emSeed int64, recorder int) (*scenario.Runtime, error) {
 	if sc.Topology == nil {
 		return nil, fmt.Errorf("experiments: scenario %q has no topology; churn sweeps need self-contained scenarios", sc.Name)
 	}
@@ -174,7 +204,7 @@ func churnReplication(sc *scenario.Scenario, scheme core.Scheme, cfg ChurnConfig
 	}
 	em := node.NewEmulation(net, node.Config{
 		Delta: cfg.Delta, DisableCC: !scheme.CC(), Estimation: true,
-		ExpectedDuration: sc.Duration, Shards: cfg.Shards,
+		ExpectedDuration: sc.Duration, Shards: cfg.Shards, Recorder: recorder,
 	}, emSeed)
 	opts := scenario.Options{
 		Routes: func(n *graph.Network, src, dst graph.NodeID) []graph.Path {
@@ -184,11 +214,25 @@ func churnReplication(sc *scenario.Scenario, scheme core.Scheme, cfg ChurnConfig
 		Invariants:   cfg.Invariants,
 	}
 	scSeed := stats.SplitSeed(cfg.Seed, 1_000_000+run)
-	rt, err := scenario.Bind(em, sc, scSeed, opts)
+	return scenario.Bind(em, sc, scSeed, opts)
+}
+
+// churnReplication executes one scenario replication under one scheme.
+// All seeds are pure functions of (base seed, run, scheme position), so
+// sweeps are bit-identical at any worker count; the topology realization
+// and the expanded event timeline depend only on the run, so schemes are
+// compared on paired instances.
+func churnReplication(sc *scenario.Scenario, scheme core.Scheme, cfg ChurnConfig, run int, emSeed int64) (*churnRun, error) {
+	bindStart := time.Now()
+	rt, err := bindChurn(sc, scheme, cfg, run, emSeed, cfg.recorder())
 	if err != nil {
 		return nil, err
 	}
+	cfg.Phases.AddBind(time.Since(bindStart))
+	runStart := time.Now()
 	rt.Run()
+	cfg.Phases.AddRun(time.Since(runStart))
+	collectStart := time.Now()
 	lat, censored := rt.FailoverLatencies(cfg.bin(), cfg.frac())
 	out := &churnRun{
 		lat:      lat,
@@ -200,9 +244,51 @@ func churnReplication(sc *scenario.Scenario, scheme core.Scheme, cfg ChurnConfig
 	}
 	if cfg.Invariants {
 		out.drops = rt.DropsByReason()
-		out.violations = len(rt.Violations())
+		vs := rt.Violations()
+		out.violations = len(vs)
+		for _, v := range vs {
+			out.violationDetails = append(out.violationDetails,
+				rt.ViolationReport(v, violationTail))
+		}
 	}
+	if cfg.Metrics != nil {
+		reg := obs.NewRegistry()
+		rt.SampleMetrics(reg)
+		cfg.Metrics.Add(reg)
+	}
+	cfg.Phases.AddCollect(time.Since(collectStart))
 	return out, nil
+}
+
+// violationTail is how many flight-recorder records a violation report
+// carries from the owning domain.
+const violationTail = 64
+
+// ChurnTrace re-runs one (run, scheme) replication with a flight
+// recorder of `size` records per domain and returns each domain's full
+// ring contents — the -trace export of empower-scenario. The re-run is
+// bit-identical to the sweep's own replication (same seed derivations),
+// so the trace shows exactly the trajectory the sweep measured.
+func ChurnTrace(sc *scenario.Scenario, cfg ChurnConfig, run int, scheme core.Scheme, size int) ([][]obs.Record, error) {
+	schemes := cfg.schemes()
+	si := 0
+	for i, s := range schemes {
+		if s == scheme {
+			si = i
+			break
+		}
+	}
+	emSeed := stats.SplitSeed(cfg.Seed, run*len(schemes)+si)
+	rt, err := bindChurn(sc, scheme, cfg, run, emSeed, size)
+	if err != nil {
+		return nil, err
+	}
+	rt.Run()
+	doms := make([][]obs.Record, rt.Em.NumDomains())
+	for d := range doms {
+		doms[d] = rt.RecorderTail(d, size)
+	}
+	return doms, nil
 }
 
 // ChurnFailover runs the failover experiment: Runs replications of the
@@ -220,7 +306,8 @@ func ChurnFailoverCtx(ctx context.Context, sc *scenario.Scenario, cfg ChurnConfi
 	runs := cfg.runs()
 	res := ChurnResult{Scenario: sc.Name, Runs: runs}
 
-	outs, err := runner.Run(ctx, runs*len(schemes), runner.Config{Workers: cfg.Parallel, BaseSeed: cfg.Seed},
+	outs, err := runner.Run(ctx, runs*len(schemes),
+		runner.Config{Workers: cfg.Parallel, BaseSeed: cfg.Seed, OnProgress: cfg.Progress, OnJobTime: cfg.JobTime},
 		func(_ context.Context, rep runner.Rep) (*churnRun, error) {
 			run, si := rep.Index/len(schemes), rep.Index%len(schemes)
 			return churnReplication(sc, schemes[si], cfg, run, rep.Seed)
@@ -248,6 +335,7 @@ func ChurnFailoverCtx(ctx context.Context, sc *scenario.Scenario, cfg ChurnConfi
 					row.Drops[reason] += n
 				}
 				row.Violations += out.violations
+				row.ViolationDetails = append(row.ViolationDetails, out.violationDetails...)
 			}
 		}
 		row.Episodes = len(row.Latencies) + row.Censored
@@ -354,7 +442,8 @@ func ChurnFlapSweepCtx(ctx context.Context, sc *scenario.Scenario, cfg ChurnConf
 	}
 
 	perRate := runs * len(schemes)
-	outs, err := runner.Run(ctx, len(ratesPerMin)*perRate, runner.Config{Workers: cfg.Parallel, BaseSeed: cfg.Seed},
+	outs, err := runner.Run(ctx, len(ratesPerMin)*perRate,
+		runner.Config{Workers: cfg.Parallel, BaseSeed: cfg.Seed, OnProgress: cfg.Progress, OnJobTime: cfg.JobTime},
 		func(_ context.Context, rep runner.Rep) (*churnRun, error) {
 			ri := rep.Index / perRate
 			rem := rep.Index % perRate

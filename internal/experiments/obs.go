@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/mac"
+	"repro/internal/node"
+	"repro/internal/obs"
+)
+
+// DropTally accumulates per-reason MAC drop counters across the
+// emulations of a testbed figure. The figure closures run on worker
+// goroutines, so the tally carries its own mutex; reading an emulation's
+// counters happens after its Run returned, never concurrently with it.
+// A nil *DropTally is inert, so default runs pay nothing and print
+// nothing (byte-stable output; the -drops flag allocates one).
+type DropTally struct {
+	mu     sync.Mutex
+	counts [mac.NumDropReasons]int
+	pkts   int
+}
+
+// AddEmulation folds one finished emulation's drop counters in.
+func (t *DropTally) AddEmulation(em *node.Emulation) {
+	if t == nil {
+		return
+	}
+	var total mac.LinkStats
+	for d := 0; d < em.NumDomains(); d++ {
+		st := em.Domain(d).MAC.TotalStats()
+		for r := range st.Dropped {
+			total.Dropped[r] += st.Dropped[r]
+		}
+		total.DeliveredPkts += st.DeliveredPkts
+	}
+	t.mu.Lock()
+	for r := range total.Dropped {
+		t.counts[r] += total.Dropped[r]
+	}
+	t.pkts += total.DeliveredPkts
+	t.mu.Unlock()
+}
+
+// Counts returns the per-reason totals keyed by reason name (every
+// reason present, zero or not, like scenario.Runtime.DropsByReason).
+func (t *DropTally) Counts() map[string]int {
+	out := make(map[string]int, int(mac.NumDropReasons))
+	if t == nil {
+		for r := mac.DropReason(0); r < mac.NumDropReasons; r++ {
+			out[r.String()] = 0
+		}
+		return out
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for r := mac.DropReason(0); r < mac.NumDropReasons; r++ {
+		out[r.String()] = t.counts[r]
+	}
+	return out
+}
+
+// Render prints the tally as one stable-ordered line block, matching the
+// per-reason drops section empower-scenario prints with -invariants.
+func (t *DropTally) Render() string {
+	counts := t.Counts()
+	reasons := make([]string, 0, len(counts))
+	for reason := range counts {
+		reasons = append(reasons, reason)
+	}
+	sort.Strings(reasons)
+	var b strings.Builder
+	b.WriteString("Drops by reason:")
+	for _, reason := range reasons {
+		fmt.Fprintf(&b, " %s=%d", reason, counts[reason])
+	}
+	if t != nil {
+		t.mu.Lock()
+		fmt.Fprintf(&b, " (delivered=%d)", t.pkts)
+		t.mu.Unlock()
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// observe folds one finished emulation into the configured observability
+// sinks (drop tally, metrics aggregator). Inert when neither is set.
+func (c TestbedConfig) observe(em *node.Emulation) {
+	c.Drops.AddEmulation(em)
+	if c.Metrics != nil {
+		reg := obs.NewRegistry()
+		em.SampleMetrics(reg)
+		c.Metrics.Add(reg)
+	}
+}

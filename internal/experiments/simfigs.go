@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 
 	"repro/internal/congestion"
 	"repro/internal/core"
@@ -65,6 +66,9 @@ type SimConfig struct {
 	Parallel int
 	// Progress, when non-nil, receives (done, total) as runs complete.
 	Progress func(done, total int)
+	// JobTime, when non-nil, receives each run's wall-clock duration
+	// (serialized with Progress).
+	JobTime func(d time.Duration)
 }
 
 func (c SimConfig) runs() int {
@@ -76,7 +80,7 @@ func (c SimConfig) runs() int {
 
 // runnerConfig maps the sweep configuration onto the shared runner.
 func (c SimConfig) runnerConfig() runner.Config {
-	return runner.Config{Workers: c.Parallel, BaseSeed: c.Seed, OnProgress: c.Progress}
+	return runner.Config{Workers: c.Parallel, BaseSeed: c.Seed, OnProgress: c.Progress, OnJobTime: c.JobTime}
 }
 
 // instanceFor regenerates the historical per-run seeding of the serial

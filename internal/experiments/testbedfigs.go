@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/routing"
 	"repro/internal/runner"
 	"repro/internal/stats"
@@ -43,6 +45,18 @@ type TestbedConfig struct {
 	// one interference domain — so this is a no-op there; it matters for
 	// custom multi-cluster topologies and never changes results.
 	Shards int
+	// Progress, when non-nil, receives (done, total) after every
+	// finished replication of the current figure.
+	Progress func(done, total int)
+	// JobTime, when non-nil, receives each replication's wall-clock
+	// duration (serialized with Progress).
+	JobTime func(d time.Duration)
+	// Drops, when non-nil, tallies every emulation's per-reason MAC drop
+	// counters for the -drops report (see DropTally).
+	Drops *DropTally
+	// Metrics, when non-nil, aggregates every emulation's sampled
+	// registry — the -metrics plumbing.
+	Metrics *obs.Aggregator
 }
 
 func (c TestbedConfig) duration() float64 {
@@ -82,7 +96,7 @@ func (c TestbedConfig) delta() float64 {
 
 // runnerConfig maps the emulation configuration onto the shared runner.
 func (c TestbedConfig) runnerConfig() runner.Config {
-	return runner.Config{Workers: c.Parallel, BaseSeed: c.Seed}
+	return runner.Config{Workers: c.Parallel, BaseSeed: c.Seed, OnProgress: c.Progress, OnJobTime: c.JobTime}
 }
 
 // testbedInstance builds the 22-node testbed with a fixed channel
@@ -141,6 +155,7 @@ func Figure9(cfg TestbedConfig) (Figure9Result, error) {
 	}
 	em.Engine.At(stop2, f2.Stop)
 	em.Run(dur)
+	cfg.observe(em)
 
 	bin := dur / 100
 	res := Figure9Result{Flow2Start: start2, Flow2Stop: stop2}
@@ -270,6 +285,7 @@ func Figure10Ctx(ctx context.Context, cfg TestbedConfig) (Figure10Result, error)
 			}
 			dur := cfg.duration()
 			em.Run(dur)
+			cfg.observe(em)
 			sink := em.Agent(dst).Sinks()[0]
 			emuFinal := sink.MeanRate(dur*0.8, dur)
 			if emuFinal > 0 {
@@ -434,6 +450,7 @@ func Figure11Ctx(ctx context.Context, cfg TestbedConfig) (Figure11Result, error)
 			}
 			dur := cfg.duration()
 			em.Run(dur)
+			cfg.observe(em)
 			_, series := em.Agent(dst).Sinks()[0].RateSeries(1.0)
 			tail := series
 			if len(series) > int(dur/2) {
@@ -567,6 +584,7 @@ func Table1Ctx(ctx context.Context, cfg TestbedConfig) (Table1Result, error) {
 			}
 		}
 		if !done {
+			cfg.observe(em)
 			return 0, 0, false
 		}
 		f613 = sink.LastDeliveryAt()
@@ -599,6 +617,7 @@ func Table1Ctx(ctx context.Context, cfg TestbedConfig) (Table1Result, error) {
 			}
 			f128 = last
 		}
+		cfg.observe(em)
 		return f613, f128, true
 	}
 
@@ -723,6 +742,7 @@ func Figure12Ctx(ctx context.Context, cfg TestbedConfig) (Figure12Result, error)
 				return nil, err
 			}
 			em.Run(half)
+			cfg.observe(em)
 			_, s := em.Agent(nodeID(13)).SinkFor(nodeID(9), c.Forward.ID).RateSeries(1.0)
 			return s, nil
 		})
@@ -844,6 +864,7 @@ func Figure13Ctx(ctx context.Context, cfg TestbedConfig) (Figure13Result, error)
 			}
 			dur := cfg.duration()
 			em.Run(dur)
+			cfg.observe(em)
 			_, series := em.Agent(p.dst).SinkFor(p.src, conn.Forward.ID).RateSeries(1.0)
 			s := stats.Summarize(tailHalf(series))
 			return cell{mean: s.Mean, std: s.Std}

@@ -30,9 +30,16 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/stats"
 )
+
+// traceRing sizes the per-domain flight-recorder ring used when a
+// reproducer is re-run for the trace dump. Fuzz scenarios are short
+// (≤ ~20 emulated seconds), so 4096 records per domain keeps the whole
+// failing trajectory, not just its tail.
+const traceRing = 4096
 
 // Seed domains, offset away from every stream the runners use (runner
 // replications use the plain index, scenario timelines 1_000_000+run,
@@ -121,6 +128,10 @@ type Failure struct {
 	// Repro is the minimized reproducer path ("" if writing failed —
 	// Detail then explains).
 	Repro string `json:"repro,omitempty"`
+	// Trace is the Chrome trace-event JSON dumped from the flight
+	// recorder while replaying the minimized reproducer ("" if the
+	// replay or the write failed).
+	Trace string `json:"trace,omitempty"`
 	// TimelineSeed and EmuSeed replay the failing run against Repro.
 	TimelineSeed int64 `json:"timeline_seed"`
 	EmuSeed      int64 `json:"emu_seed"`
@@ -163,6 +174,12 @@ func Run(cfg Config) (Result, error) {
 		} else {
 			fail.Repro = path
 			cfg.logf("reproducer: %s", path)
+			if trace, err := dumpTrace(sc, scSeed, emSeed, path+".trace.json"); err != nil {
+				cfg.logf("flight-recorder trace not written: %v", err)
+			} else {
+				fail.Trace = trace
+				cfg.logf("flight-recorder trace: %s", trace)
+			}
 		}
 		res.Failure = fail
 		return res, nil
@@ -416,6 +433,55 @@ func writeRepro(sc *scenario.Scenario, dir string, run int) (string, error) {
 	}
 	if _, err := scenario.Load(path); err != nil {
 		return "", fmt.Errorf("reproducer does not reload: %w", err)
+	}
+	return path, nil
+}
+
+// dumpTrace replays the minimized reproducer on the invariant arm's
+// configuration with the flight recorder attached and writes the
+// per-domain records as Chrome trace-event JSON next to the reproducer,
+// so the failing trajectory opens directly in Perfetto. The recorder is
+// purely observational, so the replay follows the exact trajectory the
+// oracles flagged.
+func dumpTrace(sc *scenario.Scenario, scSeed, emSeed int64, path string) (string, error) {
+	empower, err := core.ParseScheme("EMPoWER")
+	if err != nil {
+		return "", err
+	}
+	net, err := sc.Topology.BuildView(scSeed, empower.View())
+	if err != nil {
+		return "", err
+	}
+	em := node.NewEmulation(net, node.Config{
+		Delta: 0.05, DisableCC: !empower.CC(), Estimation: true,
+		ExpectedDuration: sc.Duration, Shards: 1, Recorder: traceRing,
+	}, emSeed)
+	opts := scenario.Options{
+		Routes: func(n *graph.Network, src, dst graph.NodeID) []graph.Path {
+			return core.RoutesFor(empower, n, src, dst)
+		},
+		ManageRoutes: empower.CC(),
+		Invariants:   true,
+	}
+	rt, err := scenario.Bind(em, sc, scSeed, opts)
+	if err != nil {
+		return "", err
+	}
+	rt.Run()
+	domains := make([][]obs.Record, em.NumDomains())
+	for d := range domains {
+		domains[d] = rt.RecorderTail(d, traceRing)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := obs.WriteChromeTrace(f, domains); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
 	}
 	return path, nil
 }

@@ -26,6 +26,7 @@ import (
 	"math/rand"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -198,6 +199,11 @@ type MAC struct {
 	// filtering). Drop is invoked on losses. Either may be nil.
 	Deliver DeliverFunc
 	Drop    DropFunc
+
+	// rec is the optional flight recorder (nil: recording off). Records
+	// are written on the engine's event loop, so the ring keeps its
+	// single-writer discipline.
+	rec *obs.Recorder
 }
 
 // New creates a MAC over the network's links.
@@ -224,12 +230,43 @@ func New(engine *sim.Engine, net *graph.Network, rng *rand.Rand, opts Options) *
 	return m
 }
 
+// SetRecorder attaches a flight recorder for tx-start, deliver and drop
+// records. A nil recorder (the default) disables recording.
+func (m *MAC) SetRecorder(r *obs.Recorder) { m.rec = r }
+
 // QueueLen returns the backlog of link l in packets (including the packet
 // currently on the air).
 func (m *MAC) QueueLen(l graph.LinkID) int { return m.queues[l].len() }
 
 // Stats returns a copy of link l's counters.
 func (m *MAC) Stats(l graph.LinkID) LinkStats { return m.stats[l] }
+
+// TotalStats folds every link's counters into one LinkStats — the
+// sampling read of the observability layer.
+func (m *MAC) TotalStats() LinkStats {
+	var t LinkStats
+	for l := range m.stats {
+		st := &m.stats[l]
+		t.DeliveredBits += st.DeliveredBits
+		t.DeliveredPkts += st.DeliveredPkts
+		t.DroppedPkts += st.DroppedPkts
+		for r := range st.Dropped {
+			t.Dropped[r] += st.Dropped[r]
+		}
+		t.BusySeconds += st.BusySeconds
+	}
+	return t
+}
+
+// TotalQueueLen sums the per-link backlogs — instantaneous queue
+// occupancy across the MAC.
+func (m *MAC) TotalQueueLen() int {
+	n := 0
+	for l := range m.queues {
+		n += m.queues[l].len()
+	}
+	return n
+}
 
 // Busy reports whether link l is currently transmitting.
 func (m *MAC) Busy(l graph.LinkID) bool { return m.transmitting[l] }
@@ -339,6 +376,9 @@ func (m *MAC) LinkChanged(l graph.LinkID) {
 func (m *MAC) drop(l graph.LinkID, pkt Packet, reason DropReason) {
 	m.stats[l].DroppedPkts++
 	m.stats[l].Dropped[reason]++
+	if m.rec != nil {
+		m.rec.Record(m.engine.Now(), obs.RecDrop, int32(l), int32(reason), pkt.Bits)
+	}
 	if m.Drop != nil {
 		m.Drop(l, pkt, reason)
 	}
@@ -361,6 +401,9 @@ func (m *MAC) tryStart(l graph.LinkID) {
 	}
 	duration := bits / (link.Capacity * 1e6)
 	m.stats[l].BusySeconds += duration
+	if m.rec != nil {
+		m.rec.Record(m.engine.Now(), obs.RecTxStart, int32(l), 0, bits)
+	}
 	m.engine.ScheduleFunc(duration, macComplete, &m.completion[l])
 }
 
@@ -385,6 +428,9 @@ func (m *MAC) complete(l graph.LinkID) {
 	} else {
 		m.stats[l].DeliveredBits += pkt.Bits
 		m.stats[l].DeliveredPkts++
+		if m.rec != nil {
+			m.rec.Record(m.engine.Now(), obs.RecDeliver, int32(l), 0, pkt.Bits)
+		}
 		if m.Deliver != nil {
 			m.Deliver(l, pkt)
 		}

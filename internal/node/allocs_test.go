@@ -46,3 +46,44 @@ func TestAllocsEmulationReportSlot(t *testing.T) {
 		t.Errorf("steady-state report slot allocates %v per 100 ms, want 0", avg)
 	}
 }
+
+// TestAllocsEmulationInstrumented is the same guard with the full
+// observability layer attached: a 256-record flight recorder per domain
+// hooked into the engine's timer dispatch and the MAC's tx/deliver/drop
+// paths. Recording is one ring-slot write per event — the instrumented
+// steady state must stay at zero heap allocations too, which is the
+// issue's "zero-overhead" claim made executable.
+func TestAllocsEmulationInstrumented(t *testing.T) {
+	net, a, c, routes := figure1()
+	em := NewEmulation(net, Config{Estimation: true, Recorder: 256}, 21)
+	fl, err := em.AddFlow(FlowSpec{Src: a, Dst: c, Routes: routes, Kind: TrafficSaturated}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em.Run(5) // warm: pools, rings, report tables, reverse-path caches
+	fl.Stop()
+	em.Run(5.05) // drain in-flight frames
+
+	for _, ag := range em.Agents {
+		for _, s := range ag.sinks {
+			if s.reverse != nil {
+				s.reverseAt = 1e18
+			}
+		}
+	}
+	if em.Engine.Recorder() == nil {
+		t.Fatal("recorder not attached")
+	}
+
+	now := em.Engine.Now()
+	slots := 0
+	if avg := testing.AllocsPerRun(10, func() {
+		slots++
+		em.Run(now + 0.1*float64(slots))
+	}); avg != 0 {
+		t.Errorf("instrumented steady-state report slot allocates %v per 100 ms, want 0", avg)
+	}
+	if em.Engine.Recorder().Total() == 0 {
+		t.Error("recorder saw no events during the measured slots")
+	}
+}

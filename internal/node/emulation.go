@@ -34,6 +34,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/linkest"
 	"repro/internal/mac"
+	"repro/internal/obs"
 	"repro/internal/optimal"
 	"repro/internal/sim"
 	"repro/internal/wire"
@@ -98,6 +99,13 @@ type Config struct {
 	// always takes the classic engine, making Shards >= 1 byte-identical
 	// to the zero value there.
 	Shards int
+	// Recorder, when positive, attaches a flight recorder of that many
+	// records (rounded up to a power of two) to every domain engine and
+	// its MAC. Recording costs one ring-index write per event and is
+	// purely observational: it draws no RNG and schedules nothing, so
+	// the trajectory is identical with it on or off. Zero disables
+	// recording entirely (the default; also the zero-alloc-guard path).
+	Recorder int
 }
 
 // ShardsAuto, as Config.Shards, sizes the sharded engine's worker pool
@@ -194,6 +202,14 @@ type Emulation struct {
 	// whole sampling interval. Sharded dispatchers leave it nil; the
 	// owning domain's counter is authoritative.
 	capEpoch []uint32
+
+	// Intrinsic observability counters, bumped on the owning domain's
+	// event loop and sampled by internal/obs at barriers (see
+	// node/obs.go). Sharded dispatchers keep them at zero; the accessors
+	// sum over domains.
+	estResets int
+	reroutes  int
+	failovers int
 
 	// numTechs bounds the dense per-technology agent state.
 	numTechs int
@@ -337,6 +353,11 @@ func newEmulationOwned(net *graph.Network, cfg Config, seed int64, own []bool) *
 	e.MAC = mac.New(e.Engine, net, e.rng, mac.Options{QueueLimit: cfg.queueLimit(), LossProb: cfg.LossProb})
 	e.MAC.Deliver = e.deliver
 	e.MAC.Drop = e.macDrop
+	if cfg.Recorder > 0 {
+		rec := obs.NewRecorder(cfg.Recorder)
+		e.Engine.SetRecorder(rec)
+		e.MAC.SetRecorder(rec)
+	}
 	e.Agents = make([]*Agent, net.NumNodes())
 	for i := range e.Agents {
 		if own != nil && !own[i] {
@@ -452,6 +473,7 @@ func (e *Emulation) SetLinkCapacity(l graph.LinkID, c float64) {
 			// tick only samples ModeProbe links, so switch back explicitly
 			// (an active flow's next send flips it to traffic mode again).
 			est.SetMode(linkest.ModeProbe)
+			e.estResets++
 		}
 	}
 }

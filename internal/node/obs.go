@@ -1,0 +1,142 @@
+package node
+
+import (
+	"repro/internal/mac"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// This file is the node layer's face of internal/obs: accessors over the
+// intrinsic counters (which exist whether or not anything observes them)
+// and SampleMetrics, which reads them into registry slots at a barrier —
+// after a Run returns, never concurrently with it.
+
+// EstimatorResets counts ModeProbe resets after link recoveries, summed
+// over domains.
+func (e *Emulation) EstimatorResets() int {
+	if e.doms == nil {
+		return e.estResets
+	}
+	n := 0
+	for _, d := range e.doms {
+		n += d.estResets
+	}
+	return n
+}
+
+// Reroutes counts route swaps by managed flows, summed over domains.
+func (e *Emulation) Reroutes() int {
+	if e.doms == nil {
+		return e.reroutes
+	}
+	n := 0
+	for _, d := range e.doms {
+		n += d.reroutes
+	}
+	return n
+}
+
+// Failovers counts dead-route detections by fast failover checks,
+// summed over domains.
+func (e *Emulation) Failovers() int {
+	if e.doms == nil {
+		return e.failovers
+	}
+	n := 0
+	for _, d := range e.doms {
+		n += d.failovers
+	}
+	return n
+}
+
+// EventsFired sums the engine event counters over domains.
+func (e *Emulation) EventsFired() uint64 {
+	var n uint64
+	for d := 0; d < e.NumDomains(); d++ {
+		n += e.Domain(d).Engine.Fired()
+	}
+	return n
+}
+
+// ShardStats returns the sharded coordinator's window statistics (zero
+// for the classic single-engine emulation).
+func (e *Emulation) ShardStats() sim.WindowStats {
+	if e.sh == nil {
+		return sim.WindowStats{}
+	}
+	return e.sh.Stats()
+}
+
+// DomainRecorder returns domain d's flight recorder, or nil when
+// recording is off (Config.Recorder == 0).
+func (e *Emulation) DomainRecorder(d int) *obs.Recorder {
+	return e.Domain(d).Engine.Recorder()
+}
+
+// SampleMetrics reads the emulation's intrinsic counters into registry
+// slots — the barrier sampling of the observability design. Call it
+// after Run returns (end of a replication); it only reads, so a
+// trajectory with sampling is identical to one without.
+func (e *Emulation) SampleMetrics(r *obs.Registry) {
+	r.Counter("empower_events_fired_total",
+		"discrete events processed by the engines").Add(float64(e.EventsFired()))
+	r.Counter("empower_reroutes_total",
+		"route swaps by managed flows").Add(float64(e.Reroutes()))
+	r.Counter("empower_failovers_total",
+		"dead-route detections by fast failover checks").Add(float64(e.Failovers()))
+	r.Counter("empower_estimator_resets_total",
+		"link estimators reset to probe mode after recovery").Add(float64(e.EstimatorResets()))
+
+	heapDepth, freeTimers, queueDepth := 0, 0, 0
+	var total mac.LinkStats
+	for d := 0; d < e.NumDomains(); d++ {
+		dom := e.Domain(d)
+		if p := dom.Engine.Pending(); p > heapDepth {
+			heapDepth = p
+		}
+		if f := dom.Engine.FreeTimers(); f > freeTimers {
+			freeTimers = f
+		}
+		if q := dom.MAC.TotalQueueLen(); q > queueDepth {
+			queueDepth = q
+		}
+		st := dom.MAC.TotalStats()
+		total.DeliveredBits += st.DeliveredBits
+		total.DeliveredPkts += st.DeliveredPkts
+		total.DroppedPkts += st.DroppedPkts
+		for i := range st.Dropped {
+			total.Dropped[i] += st.Dropped[i]
+		}
+		total.BusySeconds += st.BusySeconds
+	}
+	r.Gauge("empower_engine_heap_depth",
+		"peak sampled pending-timer count of any domain engine").Max(float64(heapDepth))
+	r.Gauge("empower_engine_timer_pool",
+		"peak sampled recycled-timer pool occupancy of any domain engine").Max(float64(freeTimers))
+	r.Gauge("empower_mac_queue_depth",
+		"peak sampled MAC backlog of any domain (packets)").Max(float64(queueDepth))
+	r.Counter("empower_mac_delivered_packets_total",
+		"frames delivered across links").Add(float64(total.DeliveredPkts))
+	r.Counter("empower_mac_delivered_bits_total",
+		"bits delivered across links").Add(total.DeliveredBits)
+	r.Counter("empower_mac_airtime_seconds_total",
+		"link busy time (airtime) in emulated seconds").Add(total.BusySeconds)
+	for reason := 0; reason < int(mac.NumDropReasons); reason++ {
+		r.Counter("empower_mac_dropped_packets_total",
+			"frames dropped, by reason",
+			obs.Label{Key: "reason", Value: mac.DropReason(reason).String()}).
+			Add(float64(total.Dropped[reason]))
+	}
+
+	ws := e.ShardStats()
+	r.Counter("empower_shard_windows_total",
+		"conservative windows executed by the sharded coordinator").Add(float64(ws.Windows))
+	r.Counter("empower_shard_lookahead_stalls_total",
+		"windows cut short of the run horizon by the lookahead").Add(float64(ws.Stalls))
+	r.Counter("empower_shard_cross_events_total",
+		"cross-domain events drained at window barriers").Add(float64(ws.CrossDrained))
+	r.Gauge("empower_shard_cross_queue_depth",
+		"deepest cross-domain queue observed at a barrier").Max(float64(ws.MaxCrossDepth))
+	r.Gauge("empower_domains",
+		"interference domains of the emulated topology").Max(float64(e.NumDomains()))
+}

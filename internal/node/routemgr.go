@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/congestion"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/routing"
 	"repro/internal/wire"
 )
@@ -109,6 +110,7 @@ func (m *RouteManager) failCheck() {
 	view := m.em.EstimatedNetwork()
 	for _, p := range m.flow.routes {
 		if routing.RatePath(view, p) <= 0 {
+			m.em.failovers++
 			m.checkWith(view)
 			return
 		}
@@ -193,6 +195,10 @@ func (m *RouteManager) checkWith(view *graph.Network) {
 		return
 	}
 	m.Reroutes++
+	m.em.reroutes++
+	if rec := m.em.Engine.Recorder(); rec != nil {
+		rec.Record(m.em.Engine.Now(), obs.RecReroute, int32(m.flow.ID), int32(len(paths)), 0)
+	}
 	m.lastTotal = total
 	m.lastNetTotal = netTotal
 }

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Phases accumulates wall-clock time per sweep phase (bind, run,
+// collect) with atomic adds, so parallel replications can contribute
+// concurrently. The totals sum worker time, not elapsed time — on W
+// workers the run phase can exceed wall clock by up to W×.
+type Phases struct {
+	bindNS    atomic.Int64
+	runNS     atomic.Int64
+	collectNS atomic.Int64
+}
+
+// AddBind charges d to the bind phase (topology build + scenario bind).
+func (p *Phases) AddBind(d time.Duration) {
+	if p != nil {
+		p.bindNS.Add(int64(d))
+	}
+}
+
+// AddRun charges d to the run phase (virtual-time execution).
+func (p *Phases) AddRun(d time.Duration) {
+	if p != nil {
+		p.runNS.Add(int64(d))
+	}
+}
+
+// AddCollect charges d to the collect phase (measurement + folding).
+func (p *Phases) AddCollect(d time.Duration) {
+	if p != nil {
+		p.collectNS.Add(int64(d))
+	}
+}
+
+// PhaseBreakdown is the JSON-friendly snapshot of a Phases.
+type PhaseBreakdown struct {
+	BindSeconds    float64 `json:"bind_seconds"`
+	RunSeconds     float64 `json:"run_seconds"`
+	CollectSeconds float64 `json:"collect_seconds"`
+}
+
+// Breakdown snapshots the accumulated totals in seconds.
+func (p *Phases) Breakdown() PhaseBreakdown {
+	if p == nil {
+		return PhaseBreakdown{}
+	}
+	return PhaseBreakdown{
+		BindSeconds:    time.Duration(p.bindNS.Load()).Seconds(),
+		RunSeconds:     time.Duration(p.runNS.Load()).Seconds(),
+		CollectSeconds: time.Duration(p.collectNS.Load()).Seconds(),
+	}
+}

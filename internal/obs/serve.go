@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Emitter periodically publishes Prometheus snapshots of an Aggregator
+// to either a file (atomic rename) or an HTTP /metrics endpoint,
+// depending on the -metrics argument: a leading ':' or a host:port
+// means serve, anything else is a file path.
+type Emitter struct {
+	agg  *Aggregator
+	file string
+	srv  *http.Server
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// StartEmitter interprets target and begins emission. File targets are
+// rewritten every interval (and on Close); HTTP targets serve /metrics
+// on demand. An empty target returns (nil, nil).
+func StartEmitter(target string, agg *Aggregator, interval time.Duration) (*Emitter, error) {
+	if target == "" {
+		return nil, nil
+	}
+	e := &Emitter{agg: agg, stop: make(chan struct{})}
+	if strings.HasPrefix(target, ":") || looksLikeHostPort(target) {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			agg.WritePrometheus(w)
+		})
+		ln, err := net.Listen("tcp", target)
+		if err != nil {
+			return nil, fmt.Errorf("obs: metrics listen %s: %w", target, err)
+		}
+		e.srv = &http.Server{Handler: mux}
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			e.srv.Serve(ln)
+		}()
+		return e, nil
+	}
+	e.file = target
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				e.writeFile()
+			case <-e.stop:
+				return
+			}
+		}
+	}()
+	return e, nil
+}
+
+// looksLikeHostPort reports whether target parses as host:port with a
+// non-empty port (so plain file paths with colons stay files).
+func looksLikeHostPort(target string) bool {
+	host, port, err := net.SplitHostPort(target)
+	if err != nil || port == "" {
+		return false
+	}
+	// Paths like "dir/metrics:1" should stay paths.
+	return !strings.ContainsAny(host, "/\\")
+}
+
+// writeFile writes a snapshot next to the target and renames it in, so
+// readers never see a torn file.
+func (e *Emitter) writeFile() error {
+	tmp := e.file + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := e.agg.WritePrometheus(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, e.file)
+}
+
+// Close stops emission; file targets get one final snapshot.
+func (e *Emitter) Close() error {
+	if e == nil {
+		return nil
+	}
+	close(e.stop)
+	if e.srv != nil {
+		e.srv.Close()
+	}
+	e.wg.Wait()
+	if e.file != "" {
+		return e.writeFile()
+	}
+	return nil
+}
+
+// ServePprof exposes net/http/pprof handlers on addr in a background
+// goroutine — the -pprof flag of the long-running CLIs. The server runs
+// until process exit.
+func ServePprof(addr string) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("obs: pprof listen %s: %w", addr, err)
+	}
+	go http.Serve(ln, mux)
+	return nil
+}

@@ -26,6 +26,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"repro/internal/stats"
 )
@@ -43,6 +44,11 @@ type Config struct {
 	// are serialized, but completions may arrive out of replication
 	// order.
 	OnProgress func(done, total int)
+	// OnJobTime, when non-nil, receives each replication's wall-clock
+	// duration. Calls are serialized with OnProgress under the same
+	// mutex; sweeps feed the durations into phase breakdowns and
+	// worker-utilization gauges.
+	OnJobTime func(d time.Duration)
 }
 
 // PoolSize reports the effective worker count for a configured Workers
@@ -128,7 +134,17 @@ func Run[T any](ctx context.Context, total int, cfg Config, job Job[T]) ([]T, er
 				cancel()
 			}
 		}()
+		var start time.Time
+		if cfg.OnJobTime != nil {
+			start = time.Now()
+		}
 		out, err := job(runCtx, Rep{Index: idx, Seed: stats.SplitSeed(cfg.BaseSeed, idx)})
+		if cfg.OnJobTime != nil {
+			elapsed := time.Since(start)
+			mu.Lock()
+			cfg.OnJobTime(elapsed)
+			mu.Unlock()
+		}
 		if err != nil {
 			errs[idx] = err
 			mu.Lock()

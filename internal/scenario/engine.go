@@ -10,6 +10,7 @@ import (
 	"repro/internal/invariant"
 	"repro/internal/mac"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/routing"
 )
 
@@ -481,6 +482,15 @@ func (rt *Runtime) bindFlowSpec(spec *FlowSpec) (graph.NodeID, error) {
 func (d *rtDomain) apply(be boundEvent) {
 	if d.rt.opts.OnEvent != nil {
 		d.rt.opts.OnEvent(be.Event)
+	}
+	if rec := d.em.Engine.Recorder(); rec != nil {
+		subject := int32(-1)
+		if len(be.links) > 0 {
+			subject = int32(be.links[0])
+		} else if be.Kind == NodeLeave || be.Kind == NodeJoin {
+			subject = int32(be.node)
+		}
+		rec.Record(d.em.Engine.Now(), obs.RecScenarioEvent, EventKindOrdinal(be.Kind), subject, 0)
 	}
 	switch be.Kind {
 	case LinkFail:

@@ -22,6 +22,8 @@ package sim
 import (
 	"container/heap"
 	"math"
+
+	"repro/internal/obs"
 )
 
 // Timer is a scheduled callback slot. Timers are owned by the engine's
@@ -110,14 +112,31 @@ func (h *timerHeap) Pop() interface{} {
 // Engine is the event loop. The zero value is ready to use, starting at
 // time 0.
 type Engine struct {
-	now  float64
-	seq  uint64
-	heap timerHeap
-	free []*Timer // recycled timer slots
+	now   float64
+	seq   uint64
+	heap  timerHeap
+	free  []*Timer // recycled timer slots
+	fired uint64   // intrinsic counter: events processed so far
+	rec   *obs.Recorder
 }
 
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
+
+// Fired returns the number of events this engine has processed — an
+// intrinsic counter sampled by the observability layer at barriers.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// FreeTimers returns the current timer pool occupancy (recycled slots
+// waiting for reuse).
+func (e *Engine) FreeTimers() int { return len(e.free) }
+
+// SetRecorder attaches a flight recorder; every fired event writes one
+// record. A nil recorder (the default) disables recording.
+func (e *Engine) SetRecorder(r *obs.Recorder) { e.rec = r }
+
+// Recorder returns the attached flight recorder, or nil.
+func (e *Engine) Recorder() *obs.Recorder { return e.rec }
 
 // Pending returns the number of scheduled timers. Cancel removes timers
 // from the heap immediately, so every heap entry is live and this is
@@ -256,6 +275,10 @@ func (p *Periodic) Stop() {
 func (e *Engine) fire() {
 	next := heap.Pop(&e.heap).(*Timer)
 	e.now = next.at
+	e.fired++
+	if e.rec != nil {
+		e.rec.Record(next.at, obs.RecTimerFire, 0, 0, 0)
+	}
 	fn, hfn, arg := next.fn, next.hfn, next.arg
 	e.recycle(next)
 	if hfn != nil {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Sharded coordinates a set of engines — one per interference domain —
@@ -37,6 +39,22 @@ type Sharded struct {
 	// drains (at the barrier).
 	queues [][]crossMsg
 	counts []int // per-engine processed counts of the current window
+
+	// Intrinsic window statistics, updated by the single-threaded
+	// coordinator loop and sampled by the observability layer after Run.
+	stats WindowStats
+}
+
+// WindowStats counts the conservative-window behavior of a Sharded run:
+// how many windows executed, how many were lookahead stalls (windows cut
+// short of the run horizon because the lookahead could not cover it),
+// how many cross-shard events were drained at barriers, and the deepest
+// any single cross queue got.
+type WindowStats struct {
+	Windows       uint64
+	Stalls        uint64
+	CrossDrained  uint64
+	MaxCrossDepth int
 }
 
 type crossMsg struct {
@@ -84,6 +102,9 @@ func (s *Sharded) Workers() int { return s.workers }
 // Engine returns shard i's engine.
 func (s *Sharded) Engine(i int) *Engine { return s.engines[i] }
 
+// Stats returns the accumulated window statistics.
+func (s *Sharded) Stats() WindowStats { return s.stats }
+
 // Pending sums the scheduled timers across shards (queued cross events
 // are always drained before Run returns, so they never count here).
 func (s *Sharded) Pending() int {
@@ -127,7 +148,9 @@ func (s *Sharded) Run(until float64) int {
 		if next > until {
 			break
 		}
+		s.stats.Windows++
 		if end := next + s.lookahead; end < until {
+			s.stats.Stalls++
 			total += s.runAll(end, false)
 		} else {
 			// The horizon covers the rest of the run: finish inclusively,
@@ -188,17 +211,31 @@ func runOne(e *Engine, until float64, inclusive bool) int {
 func (s *Sharded) drain() {
 	n := len(s.engines)
 	for dst := 0; dst < n; dst++ {
+		drained := 0
 		for src := 0; src < n; src++ {
 			q := s.queues[src*n+dst]
 			if len(q) == 0 {
 				continue
 			}
+			if len(q) > s.stats.MaxCrossDepth {
+				s.stats.MaxCrossDepth = len(q)
+			}
+			drained += len(q)
 			e := s.engines[dst]
 			for i := range q {
 				e.AtFunc(q[i].at, q[i].fn, q[i].arg)
 				q[i] = crossMsg{} // drop references for the pool's sake
 			}
 			s.queues[src*n+dst] = q[:0]
+		}
+		if drained > 0 {
+			s.stats.CrossDrained += uint64(drained)
+		}
+		// Barrier records are written here by the coordinator, after the
+		// window's workers have joined, so the destination engine's ring
+		// still has a single writer.
+		if rec := s.engines[dst].rec; rec != nil {
+			rec.Record(s.engines[dst].Now(), obs.RecWindowBarrier, int32(drained), 0, 0)
 		}
 	}
 }

@@ -6,9 +6,12 @@
 #   BENCH_ROUTING.json  — routing and controller micro-benchmarks plus the
 #                         Figure-4 sweep bench (tracked since PR 2)
 #   BENCH_SCENARIO.json — the emulation fast-path benches: the churn sweep
-#                         (scenario engine end to end, tracked since PR 3)
-#                         and one emulated second of the flaps scenario
-#                         (tracked since PR 5)
+#                         (scenario engine end to end, tracked since PR 3),
+#                         one emulated second of the flaps scenario
+#                         (tracked since PR 5), and the same second with
+#                         the flight recorder + metrics sampling attached
+#                         (BenchmarkMetricsOverhead — the ≤ 5% ns/op
+#                         observability budget, tracked since PR 8)
 #
 # Before overwriting an output file, the previously committed numbers are
 # kept and a delta table (old → new, with ratios) is printed, so a PR's
@@ -130,4 +133,4 @@ print_delta() {
 }
 
 run_bench 'BenchmarkRoutingN5$|BenchmarkAblationNShortest|BenchmarkAblationCSC|BenchmarkControllerSlot$|BenchmarkFigure4ParallelSweep' "$routing_out"
-run_bench 'BenchmarkChurnSweep$|BenchmarkChurnSweepSharded$|BenchmarkEmulationSecond$|BenchmarkEmulationSecondSharded$' "$scenario_out"
+run_bench 'BenchmarkChurnSweep$|BenchmarkChurnSweepSharded$|BenchmarkEmulationSecond$|BenchmarkEmulationSecondSharded$|BenchmarkMetricsOverhead$' "$scenario_out"
