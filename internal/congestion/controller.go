@@ -82,32 +82,65 @@ type Options struct {
 // one time slot t → t+1 (100 ms in the paper's implementation): it updates
 // the dual variables γ_l (congestion prices per link), the route prices
 // q_r, and the route rates x_r.
+//
+// The state is laid out structure-of-arrays: dense rate/price/gamma/offered
+// vectors indexed by route, flow and link slots, with the route→link,
+// flow→route and link→interference memberships flattened to CSR index
+// arrays. One Step is a handful of linear passes over those arrays — no
+// per-flow objects, no maps, no interface calls on the hot path when every
+// utility is the paper's proportional fairness — and allocates nothing.
+// Trajectories are bit-identical to the per-flow reference implementation
+// retained in reference_test.go.
+//
+// Capacities are latched from the network at New/Reset: a controller run
+// assumes the network is not mutated between Steps (true for every
+// analytic evaluation; the packet-level emulation runs its own per-ack
+// updates, not this controller).
 type Controller struct {
 	net    *graph.Network
 	routes []Route
 	opts   Options
 
-	flows      int
-	flowOf     []int     // route -> flow
-	util       []Utility // per flow
-	flowRoutes [][]int   // flow -> route indices
-
-	// linkRoutes[l] lists the routes traversing link l.
-	linkRoutes [][]int
-	// routeCap[r] is the bottleneck capacity of route r (rate cap).
-	routeCap []float64
-
+	flows  int
 	single bool
 
-	// State.
-	x     []float64 // per-route rates
-	xbar  []float64 // proximal auxiliary variables
-	gamma []float64 // per-link dual variables
-	load  []float64 // per-link traffic Σ_{r∋l} x_r (scratch)
-	y     []float64 // per-link airtime demand in I_l (scratch)
-	q     []float64 // per-route prices
-	newX  []float64 // next-slot rates (scratch for the proximal update)
-	frate []float64 // per-flow total rates (scratch, recomputed per slot)
+	// Flow-slot arrays. flowOff/flowIdx is the flow→routes CSR: flow f's
+	// route slots are flowIdx[flowOff[f]:flowOff[f+1]], in route order.
+	util     []Utility
+	fastUtil bool      // every utility is ProportionalFairness
+	utilW    []float64 // fast-path weights w_f
+	flowOff  []int32
+	flowIdx  []int32
+	frate    []float64 // per-flow total rate (scratch, recomputed per slot)
+	fprime   []float64 // per-flow marginal utility (scratch)
+
+	// Route-slot arrays. linkOff/linkIdx is the route→links CSR: route
+	// r's link slots are linkIdx[linkOff[r]:linkOff[r+1]], in path order.
+	flowOf   []int32
+	routeCap []float64 // bottleneck capacity of route r (rate cap)
+	linkOff  []int32
+	linkIdx  []int32
+	x        []float64 // per-route rates
+	xbar     []float64 // proximal auxiliary variables
+	q        []float64 // per-route prices
+	newX     []float64 // next-slot rates (scratch for the proximal update)
+
+	// Link-slot arrays. intOff/intIdx is the link→interference CSR
+	// mirroring Network.Interference (rebuilt only when the network
+	// changes); capv/dl latch the capacities and airtime costs at Reset.
+	intOff  []int32
+	intIdx  []int32
+	capv    []float64
+	dl      []float64 // d_l = 1/c_l (+Inf on dead links)
+	gamma   []float64 // per-link dual variables
+	offered []float64 // per-link own traffic Σ_{r∋l} x_r (scratch)
+	airtime []float64 // per-link own airtime offered_l/c_l (scratch)
+	extAir  []float64 // per-link external airtime (scratch, external path)
+	extY    []float64 // per-link external airtime demand (scratch, external path)
+	gsum    []float64 // per-link Σ_{i∈I_l} γ_i, filled for used links only
+	y       []float64 // per-link own airtime demand in I_l (scratch)
+	used    []int32   // links appearing on at least one route
+	usedSet []bool    // scratch for deduplicating `used` at Reset
 
 	// ExternalLoad can be set to per-link rates (Mbps) injected by
 	// non-EMPoWER stations; the controller measures and respects them
@@ -119,6 +152,21 @@ type Controller struct {
 
 // New creates a controller for the given network and preselected routes.
 func New(net *graph.Network, routes []Route, opts Options) (*Controller, error) {
+	c := &Controller{}
+	if err := c.Reset(net, routes, opts); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Reset re-initializes the controller for a new problem — network, routes
+// and options — reusing every backing array (grow-only), so a pooled
+// controller makes repeated evaluations allocation-free. It is exactly
+// equivalent to New: state (rates, duals, prices, slot counter,
+// ExternalLoad) is cleared, capacities are re-latched, and the CSR index
+// arrays are rebuilt (the interference CSR is reused when net is the same
+// network as the previous Reset — topology is immutable after Build).
+func (c *Controller) Reset(net *graph.Network, routes []Route, opts Options) error {
 	if opts.Alpha == 0 {
 		opts.Alpha = 0.02
 	}
@@ -126,58 +174,162 @@ func New(net *graph.Network, routes []Route, opts Options) (*Controller, error) 
 		opts.UtilityScale = 50
 	}
 	if opts.UtilityScale < 0 {
-		return nil, fmt.Errorf("congestion: utility scale %v must be positive", opts.UtilityScale)
+		return fmt.Errorf("congestion: utility scale %v must be positive", opts.UtilityScale)
 	}
 	if opts.Alpha < 0 || opts.Alpha > 1 {
-		return nil, fmt.Errorf("congestion: alpha %v out of (0,1]", opts.Alpha)
+		return fmt.Errorf("congestion: alpha %v out of (0,1]", opts.Alpha)
 	}
 	if opts.Delta < 0 || opts.Delta >= 1 {
-		return nil, fmt.Errorf("congestion: delta %v out of [0,1)", opts.Delta)
+		return fmt.Errorf("congestion: delta %v out of [0,1)", opts.Delta)
 	}
 	if opts.FairShareFloor < 0 || opts.FairShareFloor >= 1 {
-		return nil, fmt.Errorf("congestion: fair-share floor %v out of [0,1)", opts.FairShareFloor)
+		return fmt.Errorf("congestion: fair-share floor %v out of [0,1)", opts.FairShareFloor)
 	}
-	c := &Controller{net: net, routes: routes, opts: opts}
 	maxFlow := -1
+	totalLinks := 0
 	for i, r := range routes {
 		if len(r.Links) == 0 {
-			return nil, fmt.Errorf("congestion: route %d is empty", i)
+			return fmt.Errorf("congestion: route %d is empty", i)
 		}
 		if r.Flow < 0 {
-			return nil, fmt.Errorf("congestion: route %d has negative flow", i)
+			return fmt.Errorf("congestion: route %d has negative flow", i)
 		}
 		if r.Flow > maxFlow {
 			maxFlow = r.Flow
 		}
+		totalLinks += len(r.Links)
 	}
+
+	sameNet := c.net == net && net != nil
+	c.net, c.routes, c.opts = net, routes, opts
 	c.flows = maxFlow + 1
-	c.flowOf = make([]int, len(routes))
-	c.flowRoutes = make([][]int, c.flows)
-	c.routeCap = make([]float64, len(routes))
-	c.linkRoutes = make([][]int, net.NumLinks())
+	c.ExternalLoad = nil
+	c.t = 0
+	nr, nl := len(routes), net.NumLinks()
+
+	// Link-slot arrays: latch capacities and airtime costs; rebuild the
+	// interference CSR only when the network changed.
+	c.capv = growF(c.capv, nl)
+	c.dl = growF(c.dl, nl)
+	for l := 0; l < nl; l++ {
+		cl := net.Links[l].Capacity
+		c.capv[l] = cl
+		if cl > 0 {
+			c.dl[l] = 1 / cl
+		} else {
+			c.dl[l] = math.Inf(1)
+		}
+	}
+	if !sameNet {
+		c.intOff = growI(c.intOff, nl+1)
+		total := 0
+		for l := 0; l < nl; l++ {
+			c.intOff[l] = int32(total)
+			total += len(net.Interference(graph.LinkID(l)))
+		}
+		c.intOff[nl] = int32(total)
+		c.intIdx = growI(c.intIdx, total)
+		pos := 0
+		for l := 0; l < nl; l++ {
+			for _, il := range net.Interference(graph.LinkID(l)) {
+				c.intIdx[pos] = int32(il)
+				pos++
+			}
+		}
+	}
+
+	// Route-slot arrays and the route→links CSR (path order preserved).
+	c.flowOf = growI(c.flowOf, nr)
+	c.routeCap = growF(c.routeCap, nr)
+	c.linkOff = growI(c.linkOff, nr+1)
+	c.linkIdx = growI(c.linkIdx, totalLinks)
+	c.x = growF(c.x, nr)
+	c.xbar = growF(c.xbar, nr)
+	c.q = growF(c.q, nr)
+	c.newX = growF(c.newX, nr)
+	c.usedSet = growB(c.usedSet, nl)
+	for l := range c.usedSet {
+		c.usedSet[l] = false
+	}
+	c.used = c.used[:0]
+	pos := 0
 	for i, r := range routes {
-		c.flowOf[i] = r.Flow
-		c.flowRoutes[r.Flow] = append(c.flowRoutes[r.Flow], i)
+		c.flowOf[i] = int32(r.Flow)
+		c.linkOff[i] = int32(pos)
 		cap := math.Inf(1)
 		for _, l := range r.Links {
-			c.linkRoutes[l] = append(c.linkRoutes[l], i)
-			if cl := net.Link(l).Capacity; cl < cap {
+			c.linkIdx[pos] = int32(l)
+			pos++
+			if !c.usedSet[l] {
+				c.usedSet[l] = true
+				c.used = append(c.used, int32(l))
+			}
+			if cl := c.capv[l]; cl < cap {
 				cap = cl
 			}
 		}
 		c.routeCap[i] = cap
+		c.x[i] = 0
+		c.xbar[i] = 0
+		c.q[i] = 0
+		c.newX[i] = 0
 	}
-	c.util = make([]Utility, c.flows)
-	for f := 0; f < c.flows; f++ {
-		if u, ok := opts.Utilities[f]; ok && u != nil {
-			c.util[f] = u
-		} else {
-			c.util[f] = ProportionalFairness{}
+	c.linkOff[nr] = int32(pos)
+	// The scatter in Step requires used links in ascending LinkID order
+	// to reproduce the reference's ascending-domain gather bit for bit.
+	for i := 1; i < len(c.used); i++ {
+		for j := i; j > 0 && c.used[j] < c.used[j-1]; j-- {
+			c.used[j], c.used[j-1] = c.used[j-1], c.used[j]
 		}
 	}
+	if opts.InitialRates != nil {
+		for i := 0; i < nr; i++ {
+			if i < len(opts.InitialRates) && opts.InitialRates[i] > 0 {
+				c.x[i] = opts.InitialRates[i]
+				c.xbar[i] = opts.InitialRates[i]
+			}
+		}
+	}
+
+	// Flow-slot arrays and the flow→routes CSR: count, prefix-sum, fill
+	// in route order (matching the append order of the reference).
+	c.flowOff = growI(c.flowOff, c.flows+1)
+	for f := 0; f <= c.flows; f++ {
+		c.flowOff[f] = 0
+	}
+	for i := 0; i < nr; i++ {
+		c.flowOff[c.flowOf[i]+1]++
+	}
+	for f := 0; f < c.flows; f++ {
+		c.flowOff[f+1] += c.flowOff[f]
+	}
+	c.flowIdx = growI(c.flowIdx, nr)
+	c.frate = growF(c.frate, c.flows)
+	c.fprime = growF(c.fprime, c.flows)
+	fillFlowCSR(c.flowIdx, c.flowOff, c.flowOf[:nr], c.flows)
+
+	// Utilities: per-flow, defaulting to proportional fairness; the fast
+	// path inlines w/(1+x) when every flow uses ProportionalFairness.
+	c.util = growUtil(c.util, c.flows)
+	c.utilW = growF(c.utilW, c.flows)
+	c.fastUtil = true
+	for f := 0; f < c.flows; f++ {
+		var u Utility = ProportionalFairness{}
+		if uu, ok := opts.Utilities[f]; ok && uu != nil {
+			u = uu
+		}
+		c.util[f] = u
+		if pf, ok := u.(ProportionalFairness); ok {
+			c.utilW[f] = pf.w()
+		} else {
+			c.fastUtil = false
+			c.utilW[f] = 0
+		}
+	}
+
 	c.single = true
 	for f := 0; f < c.flows; f++ {
-		if len(c.flowRoutes[f]) != 1 {
+		if c.flowOff[f+1]-c.flowOff[f] != 1 {
 			c.single = false
 		}
 	}
@@ -187,23 +339,40 @@ func New(net *graph.Network, routes []Route, opts Options) (*Controller, error) 
 	case ModeMultipath:
 		c.single = false
 	}
-	c.x = make([]float64, len(routes))
-	c.xbar = make([]float64, len(routes))
-	if opts.InitialRates != nil {
-		for i := range c.x {
-			if i < len(opts.InitialRates) && opts.InitialRates[i] > 0 {
-				c.x[i] = opts.InitialRates[i]
-				c.xbar[i] = opts.InitialRates[i]
-			}
-		}
+
+	c.gamma = growF(c.gamma, nl)
+	c.offered = growF(c.offered, nl)
+	c.airtime = growF(c.airtime, nl)
+	c.extAir = growF(c.extAir, nl)
+	c.extY = growF(c.extY, nl)
+	c.gsum = growF(c.gsum, nl)
+	c.y = growF(c.y, nl)
+	for l := 0; l < nl; l++ {
+		c.gamma[l] = 0
+		c.offered[l] = 0
+		c.airtime[l] = 0
+		c.extAir[l] = 0
+		c.extY[l] = 0
+		c.gsum[l] = 0
+		c.y[l] = 0
 	}
-	c.gamma = make([]float64, net.NumLinks())
-	c.load = make([]float64, net.NumLinks())
-	c.y = make([]float64, net.NumLinks())
-	c.q = make([]float64, len(routes))
-	c.newX = make([]float64, len(routes))
-	c.frate = make([]float64, c.flows)
-	return c, nil
+	return nil
+}
+
+// fillFlowCSR places each route index into its flow's slot range, walking
+// routes in ascending order so each flow's list stays route-ordered. off is
+// used as a cursor and restored afterwards.
+func fillFlowCSR(idx, off, flowOf []int32, flows int) {
+	for i := range flowOf {
+		f := flowOf[i]
+		idx[off[f]] = int32(i)
+		off[f]++
+	}
+	// Restore the prefix sums: off[f] now holds off[f+1]'s old value.
+	for f := flows; f > 0; f-- {
+		off[f] = off[f-1]
+	}
+	off[0] = 0
 }
 
 // NumRoutes returns the number of routes under control.
@@ -214,12 +383,12 @@ func (c *Controller) NumFlows() int { return c.flows }
 
 // Rates returns the current per-route rate vector x (Mbps). The returned
 // slice is owned by the controller; copy it to retain it across steps.
-func (c *Controller) Rates() []float64 { return c.x }
+func (c *Controller) Rates() []float64 { return c.x[:len(c.routes)] }
 
 // FlowRate returns x_f = Σ_{r∈f} x_r for flow f.
 func (c *Controller) FlowRate(f int) float64 {
 	var s float64
-	for _, r := range c.flowRoutes[f] {
+	for _, r := range c.flowIdx[c.flowOff[f]:c.flowOff[f+1]] {
 		s += c.x[r]
 	}
 	return s
@@ -260,71 +429,123 @@ func (c *Controller) Alpha() float64 { return c.opts.Alpha }
 // and for tests).
 func (c *Controller) SetRate(r int, x float64) { c.x[r] = x }
 
-// Step advances the controller by one time slot.
+// Step advances the controller by one time slot: four linear passes over
+// the dense arrays (offered-load scatter, per-link γ update, per-route
+// price gather, rate update), allocation-free.
 func (c *Controller) Step() {
 	alpha := c.opts.Alpha
 	limit := 1 - c.opts.Delta
+	nl := len(c.capv)
+	nr := len(c.routes)
 
-	// Per-link traffic loads (eq. 7 inner sum): own traffic only; the
+	// offered_l = Σ_{r∋l} x_r (eq. 7 inner sum): own traffic only; the
 	// external load enters the airtime sums separately so the fair-share
 	// extension can distinguish the two.
-	for l := range c.load {
-		c.load[l] = 0
+	offered := c.offered
+	for l := range offered {
+		offered[l] = 0
 	}
-	for i, r := range c.routes {
-		for _, l := range r.Links {
-			c.load[l] += c.x[i]
+	for r := 0; r < nr; r++ {
+		xr := c.x[r]
+		for _, l := range c.linkIdx[c.linkOff[r]:c.linkOff[r+1]] {
+			offered[l] += xr
 		}
 	}
 
-	// y_l[t] = Σ_{l'∈I_l} d_{l'} · load_{l'}  (eq. 7), split into own and
-	// external airtime.
-	for l := 0; l < c.net.NumLinks(); l++ {
-		var yOwn, yExt float64
-		for _, lp := range c.net.Interference(graph.LinkID(l)) {
-			link := c.net.Link(lp)
-			if link.Capacity <= 0 {
-				continue
-			}
-			if c.load[lp] > 0 {
-				yOwn += c.load[lp] / link.Capacity
-			}
-			if c.ExternalLoad != nil && c.ExternalLoad[lp] > 0 {
-				yExt += c.ExternalLoad[lp] / link.Capacity
+	// Latch each link's own airtime offered_l/c_l once (the reference
+	// divided inside every interference sum; same operands, one division
+	// per link), so the γ pass is a pure gather of adds.
+	airtime := c.airtime
+	for l := 0; l < nl; l++ {
+		if offered[l] > 0 && c.capv[l] > 0 {
+			airtime[l] = offered[l] / c.capv[l]
+		} else {
+			airtime[l] = 0
+		}
+	}
+	ext := c.ExternalLoad != nil
+	if ext {
+		for l := 0; l < nl; l++ {
+			if c.ExternalLoad[l] > 0 && c.capv[l] > 0 {
+				c.extAir[l] = c.ExternalLoad[l] / c.capv[l]
+			} else {
+				c.extAir[l] = 0
 			}
 		}
-		// Effective budget for own traffic in this domain.
-		budget := limit - yExt
-		if f := c.opts.FairShareFloor; f > 0 && budget < f*limit {
-			budget = f * limit
+	}
+
+	// y_l[t] = Σ_{l'∈I_l} d_{l'} · offered_{l'} (eq. 7). Gathering that
+	// per link costs Σ|I_l| ≈ L² adds per slot, yet airtime is nonzero
+	// only on the few links routes actually traverse — so scatter instead:
+	// each loaded link adds its airtime to every domain it belongs to
+	// (interference is symmetric: lp ∈ I_l ⟺ l ∈ I_lp). Scattering in
+	// ascending LinkID order reproduces the reference's ascending-domain
+	// gather exactly — the skipped zero terms are exact no-ops on a
+	// non-negative sum.
+	y := c.y
+	for l := range y {
+		y[l] = 0
+	}
+	for _, l := range c.used {
+		if a := airtime[l]; a > 0 {
+			for _, lp := range c.intIdx[c.intOff[l]:c.intOff[l+1]] {
+				y[lp] += a
+			}
 		}
-		c.y[l] = yOwn
-		// γ_l[t+1] = [γ_l[t] + α(y_own − budget)]+  (eq. 8; with no
-		// external traffic and no floor this is exactly the paper's
-		// y_l − (1−δ)).
-		g := c.gamma[l] + alpha*(yOwn-budget)
+	}
+	if ext {
+		// External airtime can sit on any link, not just used ones: same
+		// scatter, iterating all links in ascending order.
+		for l := range c.extY {
+			c.extY[l] = 0
+		}
+		for l := 0; l < nl; l++ {
+			if a := c.extAir[l]; a > 0 {
+				for _, lp := range c.intIdx[c.intOff[l]:c.intOff[l+1]] {
+					c.extY[lp] += a
+				}
+			}
+		}
+	}
+
+	// γ_l[t+1] = [γ_l[t] + α(y_own − budget)]+ (eq. 8; with no external
+	// traffic and no floor the budget is exactly the paper's 1−δ).
+	floor := c.opts.FairShareFloor
+	for l := 0; l < nl; l++ {
+		budget := limit
+		if ext {
+			budget = limit - c.extY[l]
+		}
+		if floor > 0 && budget < floor*limit {
+			budget = floor * limit
+		}
+		g := c.gamma[l] + alpha*(y[l]-budget)
 		if g < 0 {
 			g = 0
 		}
 		c.gamma[l] = g
 	}
 
-	// q_r[t] = Σ_{l∈r} d_l Σ_{i∈I_l} γ_i  (eq. 9)
-	for i, r := range c.routes {
-		var q float64
-		for _, l := range r.Links {
-			link := c.net.Link(l)
-			if link.Capacity <= 0 {
-				q = math.Inf(1)
+	// q_r[t] = Σ_{l∈r} d_l Σ_{i∈I_l} γ_i (eq. 9). The inner γ sum is
+	// latched once per link actually on a route; routes sharing links
+	// reuse it.
+	for _, l := range c.used {
+		var s float64
+		for _, il := range c.intIdx[c.intOff[l]:c.intOff[l+1]] {
+			s += c.gamma[il]
+		}
+		c.gsum[l] = s
+	}
+	for r := 0; r < nr; r++ {
+		var qr float64
+		for _, l := range c.linkIdx[c.linkOff[r]:c.linkOff[r+1]] {
+			if c.capv[l] <= 0 {
+				qr = math.Inf(1)
 				break
 			}
-			var gsum float64
-			for _, il := range c.net.Interference(l) {
-				gsum += c.gamma[il]
-			}
-			q += link.D() * gsum
+			qr += c.dl[l] * c.gsum[l]
 		}
-		c.q[i] = q
+		c.q[r] = qr
 	}
 
 	if c.single {
@@ -333,9 +554,26 @@ func (c *Controller) Step() {
 		// around q = U'(0) and saw-tooths with a fixed dual step, so the
 		// implementation relaxes toward it (same fixed point).
 		const beta = 0.3
-		for i := range c.routes {
-			x := c.capRate(i, c.util[c.flowOf[i]].PrimeInv(c.q[i]))
-			c.x[i] = (1-beta)*c.x[i] + beta*x
+		if c.fastUtil {
+			for r := 0; r < nr; r++ {
+				q := c.q[r]
+				var inv float64
+				if q <= 0 {
+					inv = math.Inf(1)
+				} else {
+					inv = c.utilW[c.flowOf[r]]/q - 1
+					if inv < 0 {
+						inv = 0
+					}
+				}
+				x := c.capRate(r, inv)
+				c.x[r] = (1-beta)*c.x[r] + beta*x
+			}
+		} else {
+			for r := 0; r < nr; r++ {
+				x := c.capRate(r, c.util[c.flowOf[r]].PrimeInv(c.q[r]))
+				c.x[r] = (1-beta)*c.x[r] + beta*x
+			}
 		}
 	} else {
 		// Proximal multipath update (§4.3). The term U'_f − q_r is scaled
@@ -343,25 +581,37 @@ func (c *Controller) Step() {
 		// the equivalently-maximized objective Σ S·U_f − S/2 Σ (x−x̄)²
 		// expressed in normalized prices q/S, and it moves the rates at a
 		// practical Mbps-per-slot speed. The fixed point U'_f(x_f) = q_r
-		// for active routes is unchanged. The flow rates are computed once
-		// per slot (x does not change inside the loop; newX is scratch).
+		// for active routes is unchanged. The flow rates and marginal
+		// utilities are computed once per slot (x does not change inside
+		// the loop; newX is scratch).
 		scale := c.opts.UtilityScale
 		for f := 0; f < c.flows; f++ {
-			c.frate[f] = c.FlowRate(f)
+			var s float64
+			for _, r := range c.flowIdx[c.flowOff[f]:c.flowOff[f+1]] {
+				s += c.x[r]
+			}
+			c.frate[f] = s
+			if c.fastUtil {
+				if s < 0 {
+					s = 0
+				}
+				c.fprime[f] = c.utilW[f] / (1 + s)
+			} else {
+				c.fprime[f] = c.util[f].Prime(s)
+			}
 		}
-		for i := range c.routes {
-			f := c.flowOf[i]
-			inner := c.xbar[i] + scale*(c.util[f].Prime(c.frate[f])-c.q[i])
+		for r := 0; r < nr; r++ {
+			inner := c.xbar[r] + scale*(c.fprime[c.flowOf[r]]-c.q[r])
 			if inner < 0 {
 				inner = 0
 			}
-			nx := (1-alpha)*c.x[i] + alpha*inner
-			c.newX[i] = c.capRate(i, nx)
+			nx := (1-alpha)*c.x[r] + alpha*inner
+			c.newX[r] = c.capRate(r, nx)
 		}
-		for i := range c.xbar {
-			c.xbar[i] = (1-alpha)*c.xbar[i] + alpha*c.x[i]
+		for r := 0; r < nr; r++ {
+			c.xbar[r] = (1-alpha)*c.xbar[r] + alpha*c.x[r]
 		}
-		copy(c.x, c.newX)
+		copy(c.x[:nr], c.newX[:nr])
 	}
 	c.t++
 }
@@ -379,6 +629,20 @@ func (c *Controller) capRate(i int, x float64) float64 {
 	return x
 }
 
+// RunAppend advances n slots and appends the per-flow total rates after
+// each slot to dst — n·NumFlows values, slot-major — returning the
+// extended slice. With a preallocated dst this is the allocation-free
+// batch form of Run; Evaluate's pooled sweep path uses it.
+func (c *Controller) RunAppend(n int, dst []float64) []float64 {
+	for t := 0; t < n; t++ {
+		c.Step()
+		for f := 0; f < c.flows; f++ {
+			dst = append(dst, c.FlowRate(f))
+		}
+	}
+	return dst
+}
+
 // Run advances n slots and returns the trajectory of per-flow total rates:
 // out[t][f] is flow f's rate after slot t. The rows share one backing
 // array, so a whole trajectory costs two allocations instead of n+1.
@@ -387,14 +651,9 @@ func (c *Controller) Run(n int) [][]float64 {
 	if n <= 0 {
 		return out
 	}
-	flat := make([]float64, n*c.flows)
+	flat := c.RunAppend(n, make([]float64, 0, n*c.flows))
 	for t := 0; t < n; t++ {
-		c.Step()
-		row := flat[t*c.flows : (t+1)*c.flows : (t+1)*c.flows]
-		for f := range row {
-			row[f] = c.FlowRate(f)
-		}
-		out[t] = row
+		out[t] = flat[t*c.flows : (t+1)*c.flows : (t+1)*c.flows]
 	}
 	return out
 }
@@ -403,17 +662,17 @@ func (c *Controller) Run(n int) [][]float64 {
 // constraint (2) is exceeded at the current rates (≤ 0 when feasible).
 // It recomputes loads from the current rates.
 func (c *Controller) MaxAirtimeViolation() float64 {
-	for l := range c.load {
-		c.load[l] = 0
+	for l := range c.offered {
+		c.offered[l] = 0
 	}
 	for i, r := range c.routes {
 		for _, l := range r.Links {
-			c.load[l] += c.x[i]
+			c.offered[l] += c.x[i]
 		}
 	}
 	if c.ExternalLoad != nil {
-		for l := range c.load {
-			c.load[l] += c.ExternalLoad[l]
+		for l := range c.offered {
+			c.offered[l] += c.ExternalLoad[l]
 		}
 	}
 	worst := math.Inf(-1)
@@ -421,8 +680,8 @@ func (c *Controller) MaxAirtimeViolation() float64 {
 		var y float64
 		for _, lp := range c.net.Interference(graph.LinkID(l)) {
 			link := c.net.Link(lp)
-			if c.load[lp] > 0 && link.Capacity > 0 {
-				y += c.load[lp] / link.Capacity
+			if c.offered[lp] > 0 && link.Capacity > 0 {
+				y += c.offered[lp] / link.Capacity
 			}
 		}
 		if v := y - 1; v > worst {
@@ -458,4 +717,36 @@ func SlotsToSteady(series []float64, tol float64) int {
 		}
 	}
 	return len(series)
+}
+
+// growF resizes a float64 scratch slice to n, reusing capacity.
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// growI resizes an int32 index slice to n, reusing capacity.
+func growI(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// growB resizes a bool scratch slice to n, reusing capacity.
+func growB(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+// growUtil resizes the per-flow utility slice to n, reusing capacity.
+func growUtil(s []Utility, n int) []Utility {
+	if cap(s) < n {
+		return make([]Utility, n)
+	}
+	return s[:n]
 }

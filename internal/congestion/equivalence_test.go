@@ -1,0 +1,255 @@
+package congestion
+
+// Property tests asserting the SoA batch controller is exact-== equivalent
+// to the scalar reference (reference_test.go): same trajectories, bit for
+// bit, across random topologies, flow sets, alpha values, CSC on/off
+// routing, both controller modes, external load, fair-share floors and
+// non-default utilities.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// randomScenario draws a random instance, view and route set the way the
+// §5 sweeps do: single-path or multipath routes for 1-4 random flows, CSC
+// on or off.
+func randomScenario(rng *rand.Rand) (*graph.Network, []Route) {
+	var inst *topology.Instance
+	if rng.Intn(2) == 0 {
+		inst = topology.Residential(rng, topology.Config{})
+	} else {
+		inst = topology.Enterprise(rng, topology.Config{})
+	}
+	view := topology.View(rng.Intn(3))
+	net := inst.BuildCached(view)
+	cfg := routing.Config{N: 2 + rng.Intn(4), UseCSC: rng.Intn(2) == 0}
+	multi := rng.Intn(2) == 0
+	flows := 1 + rng.Intn(4)
+	var routes []Route
+	for f := 0; f < flows; f++ {
+		src, dst := inst.RandomFlow(rng)
+		if multi {
+			for _, p := range routing.Multipath(net.Network, src, dst, cfg).Paths {
+				routes = append(routes, Route{Links: p, Flow: f})
+			}
+		} else {
+			if p := routing.SinglePath(net.Network, src, dst, cfg); p != nil {
+				routes = append(routes, Route{Links: p, Flow: f})
+			}
+		}
+	}
+	if len(routes) == 0 {
+		return nil, nil
+	}
+	return net.Network, routes
+}
+
+// randomOptions draws controller options spanning the feature surface.
+func randomOptions(rng *rand.Rand, routes []Route) Options {
+	opts := Options{}
+	switch rng.Intn(3) {
+	case 0:
+		opts.Alpha = 0.02
+	case 1:
+		opts.Alpha = 0.005 + rng.Float64()*0.1
+	case 2:
+		opts.Alpha = 1 // boundary
+	}
+	if rng.Intn(2) == 0 {
+		opts.Delta = rng.Float64() * 0.3
+	}
+	opts.Mode = Mode(rng.Intn(3))
+	opts.DisableRateCap = rng.Intn(4) == 0
+	if rng.Intn(3) == 0 {
+		opts.FairShareFloor = 0.1 + rng.Float64()*0.5
+	}
+	if rng.Intn(3) == 0 {
+		opts.UtilityScale = 1 + rng.Float64()*99
+	}
+	if rng.Intn(3) == 0 {
+		opts.InitialRates = make([]float64, len(routes))
+		for i := range opts.InitialRates {
+			opts.InitialRates[i] = rng.Float64() * 30
+		}
+	}
+	if rng.Intn(4) == 0 {
+		opts.Utilities = map[int]Utility{}
+		for f := 0; f < 4; f++ {
+			switch rng.Intn(3) {
+			case 0:
+				opts.Utilities[f] = ProportionalFairness{Weight: 1 + rng.Float64()}
+			case 1:
+				opts.Utilities[f] = AlphaFair{A: 2}
+			}
+		}
+	}
+	return opts
+}
+
+// TestBatchMatchesReferenceTrajectories is the core equivalence property:
+// over random scenarios, every slot of every flow's trajectory must be
+// exactly equal (==, no tolerance) between the batch controller and the
+// scalar reference.
+func TestBatchMatchesReferenceTrajectories(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	cases := 60
+	if testing.Short() {
+		cases = 15
+	}
+	for it := 0; it < cases; it++ {
+		net, routes := randomScenario(rng)
+		if net == nil {
+			continue
+		}
+		opts := randomOptions(rng, routes)
+		slots := 50 + rng.Intn(200)
+
+		ctrl, err := New(net, routes, opts)
+		if err != nil {
+			t.Fatalf("case %d: New: %v", it, err)
+		}
+		ref, err := newRef(net, routes, opts)
+		if err != nil {
+			t.Fatalf("case %d: newRef: %v", it, err)
+		}
+		if rng.Intn(3) == 0 {
+			ext := make([]float64, net.NumLinks())
+			for l := range ext {
+				if rng.Intn(4) == 0 {
+					ext[l] = rng.Float64() * 20
+				}
+			}
+			ctrl.ExternalLoad = ext
+			ref.ExternalLoad = ext
+		}
+
+		got := ctrl.Run(slots)
+		want := ref.Run(slots)
+		for s := range want {
+			for f := range want[s] {
+				if got[s][f] != want[s][f] {
+					t.Fatalf("case %d (routes=%d opts=%+v): slot %d flow %d: batch %v != reference %v",
+						it, len(routes), opts, s, f, got[s][f], want[s][f])
+				}
+			}
+		}
+		// Duals and prices must agree too, not just the rate projections.
+		for l := 0; l < net.NumLinks(); l++ {
+			if g, w := ctrl.Gamma(graph.LinkID(l)), ref.gamma[l]; g != w {
+				t.Fatalf("case %d: gamma[%d]: batch %v != reference %v", it, l, g, w)
+			}
+		}
+		for r := range routes {
+			if g, w := ctrl.Price(r), ref.q[r]; g != w {
+				t.Fatalf("case %d: q[%d]: batch %v != reference %v", it, r, g, w)
+			}
+		}
+	}
+}
+
+// TestResetMatchesFreshController: a controller Reset onto a new problem
+// must behave exactly like a freshly allocated one — the pooled sweep path
+// depends on this.
+func TestResetMatchesFreshController(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	ctrl := &Controller{}
+	for it := 0; it < 25; it++ {
+		net, routes := randomScenario(rng)
+		if net == nil {
+			continue
+		}
+		opts := randomOptions(rng, routes)
+		if err := ctrl.Reset(net, routes, opts); err != nil {
+			t.Fatalf("case %d: Reset: %v", it, err)
+		}
+		fresh, err := New(net, routes, opts)
+		if err != nil {
+			t.Fatalf("case %d: New: %v", it, err)
+		}
+		slots := 30 + rng.Intn(100)
+		got := ctrl.Run(slots)
+		want := fresh.Run(slots)
+		for s := range want {
+			for f := range want[s] {
+				if got[s][f] != want[s][f] {
+					t.Fatalf("case %d: slot %d flow %d: reset %v != fresh %v", it, s, f, got[s][f], want[s][f])
+				}
+			}
+		}
+	}
+}
+
+// TestRunAppendMatchesRun: the flat batch form must produce the same
+// values as the row-sliced Run.
+func TestRunAppendMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for it := 0; it < 10; it++ {
+		net, routes := randomScenario(rng)
+		if net == nil {
+			continue
+		}
+		opts := randomOptions(rng, routes)
+		a, err := New(net, routes, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := New(net, routes, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := a.Run(80)
+		flat := b.RunAppend(80, nil)
+		nf := a.NumFlows()
+		if len(flat) != 80*nf {
+			t.Fatalf("RunAppend length %d, want %d", len(flat), 80*nf)
+		}
+		for s := range rows {
+			for f := range rows[s] {
+				if rows[s][f] != flat[s*nf+f] {
+					t.Fatalf("slot %d flow %d: Run %v != RunAppend %v", s, f, rows[s][f], flat[s*nf+f])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchDeadLinkMatchesReference pins the cap<=0 edge cases (infinite
+// prices, zero-capacity bottlenecks) that the SoA rewrite restructured.
+func TestBatchDeadLinkMatchesReference(t *testing.T) {
+	b := graph.NewBuilder(nil)
+	n0 := b.AddNode("a", 0, 0, graph.TechWiFi)
+	n1 := b.AddNode("b", 1, 0, graph.TechWiFi)
+	n2 := b.AddNode("c", 2, 0, graph.TechWiFi)
+	l0 := b.AddLink(n0, n1, graph.TechWiFi, 0) // dead link
+	l1 := b.AddLink(n1, n2, graph.TechWiFi, 30)
+	net := b.Build()
+	routes := []Route{{Links: graph.Path{l0, l1}, Flow: 0}, {Links: graph.Path{l1}, Flow: 1}}
+	for _, mode := range []Mode{ModeAuto, ModeMultipath} {
+		opts := Options{Mode: mode}
+		ctrl, err := New(net, routes, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := newRef(net, routes, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, want := ctrl.Run(120), ref.Run(120)
+		for s := range want {
+			for f := range want[s] {
+				if got[s][f] != want[s][f] {
+					t.Fatalf("mode %v slot %d flow %d: %v != %v", mode, s, f, got[s][f], want[s][f])
+				}
+			}
+		}
+		if !math.IsInf(ctrl.Price(0), 1) {
+			t.Fatalf("mode %v: expected infinite price on dead route, got %v", mode, ctrl.Price(0))
+		}
+	}
+}

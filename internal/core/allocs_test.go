@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestAllocsEvaluate bounds the warm per-evaluation allocation count of
+// the §5 sweep path. After the evaluator pool, view cache and routing
+// workspaces are primed, an Evaluate call should allocate only what
+// escapes into the Result — the FlowResult slice and the durable copies
+// of the selected routes; controller state, trajectories and search
+// scratch are reused. The bounds sit a few allocations above the measured
+// values (see BenchmarkFigure4ParallelSweep for the end-to-end budget) so
+// they fail on a regression to per-call route or trajectory reallocation,
+// not on allocator noise.
+func TestAllocsEvaluate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation changes allocation counts")
+	}
+	inst := instance(1)
+	src, dst := connectedPair(t, inst, 2)
+
+	cases := []struct {
+		scheme Scheme
+		bound  float64
+	}{
+		{SchemeSP, 8},       // measured 3
+		{SchemeSPWiFi, 8},   // measured 3
+		{SchemeEMPoWER, 16}, // measured 5
+		{SchemeMPmWiFi, 16}, // measured 5
+		{SchemeMPWoCC, 24},  // measured 10
+	}
+	for _, tc := range cases {
+		t.Run(tc.scheme.String(), func(t *testing.T) {
+			pairs := [][2]graph.NodeID{{src, dst}}
+			// Warm the evaluator pool, the view cache and the routing
+			// workspaces for this scheme.
+			Evaluate(inst, tc.scheme, pairs, Options{Slots: 50})
+			avg := testing.AllocsPerRun(20, func() {
+				Evaluate(inst, tc.scheme, pairs, Options{Slots: 50})
+			})
+			if avg > tc.bound {
+				t.Errorf("%s: Evaluate allocates %v per call, want <= %v", tc.scheme, avg, tc.bound)
+			}
+			t.Logf("%s: %v allocs per warm Evaluate", tc.scheme, avg)
+		})
+	}
+}

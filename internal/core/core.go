@@ -14,6 +14,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/congestion"
 	"repro/internal/graph"
@@ -194,6 +195,28 @@ type Result struct {
 	ConvergenceSlots5 int
 }
 
+// evaluator holds the per-evaluation scratch state — the batch congestion
+// controller and every intermediate slice Evaluate needs. Instances are
+// pooled: a Monte-Carlo sweep reuses a handful of evaluators across
+// thousands of instances instead of reallocating route lists, seed-rate
+// buffers and trajectories per run. Every field is fully overwritten (or
+// length-reset) per evaluation, so pooling never changes results; only
+// Result and the route paths themselves escape.
+type evaluator struct {
+	ctrl          congestion.Controller
+	ccRoutes      []congestion.Route
+	routesPerFlow [][]graph.Path
+	initial       []float64
+	seqBuf        []float64
+	traj          []float64 // slot-major per-flow rates from RunAppend
+	totals        []float64
+	avg           []float64
+	allRoutes     []graph.Path
+	inject        []float64
+}
+
+var evalPool = sync.Pool{New: func() any { return new(evaluator) }}
+
 // Evaluate computes the scheme's converged per-flow throughput on an
 // instance for the given source-destination pairs (analytic mode).
 func Evaluate(inst *topology.Instance, s Scheme, pairs [][2]graph.NodeID, opts Options) Result {
@@ -204,9 +227,12 @@ func Evaluate(inst *topology.Instance, s Scheme, pairs [][2]graph.NodeID, opts O
 	net := inst.BuildCached(s.View())
 	res := Result{Scheme: s, Flows: make([]FlowResult, len(pairs))}
 
+	ev := evalPool.Get().(*evaluator)
+	defer evalPool.Put(ev)
+
 	// Route selection per flow.
-	var ccRoutes []congestion.Route
-	routesPerFlow := make([][]graph.Path, len(pairs))
+	ccRoutes := ev.ccRoutes[:0]
+	routesPerFlow := growPaths(ev.routesPerFlow, len(pairs))
 	for f, pr := range pairs {
 		routes := RoutesFor(s, net.Network, pr[0], pr[1])
 		routesPerFlow[f] = routes
@@ -215,6 +241,7 @@ func Evaluate(inst *topology.Instance, s Scheme, pairs [][2]graph.NodeID, opts O
 			ccRoutes = append(ccRoutes, congestion.Route{Links: p, Flow: f})
 		}
 	}
+	ev.ccRoutes, ev.routesPerFlow = ccRoutes, routesPerFlow
 	if len(ccRoutes) == 0 {
 		for f := range res.Flows {
 			res.Utility += congestion.ProportionalFairness{}.Value(res.Flows[f].Throughput)
@@ -227,42 +254,54 @@ func Evaluate(inst *topology.Instance, s Scheme, pairs [][2]graph.NodeID, opts O
 		// loading: 70 % of each route's residual achievable rate. Sources
 		// know these rates from the §3.2 exploration tree, and warm
 		// starting is what gives the paper's tens-of-slots convergence.
-		initial := make([]float64, 0, len(ccRoutes))
+		initial := ev.initial[:0]
 		for _, routes := range routesPerFlow {
-			for _, r := range routing.SequentialRates(net.Network, routes) {
+			ev.seqBuf = routing.AppendSequentialRates(net.Network, routes, ev.seqBuf[:0])
+			for _, r := range ev.seqBuf {
 				initial = append(initial, 0.7*r)
 			}
 		}
-		ctrl, err := congestion.New(net.Network, ccRoutes, congestion.Options{
+		ev.initial = initial
+		if err := ev.ctrl.Reset(net.Network, ccRoutes, congestion.Options{
 			Alpha:        opts.alpha(),
 			Delta:        opts.Delta,
 			InitialRates: initial,
-		})
-		if err != nil {
+		}); err != nil {
 			// Routes are validated upstream; an error here is programmer
 			// error on the scheme plumbing.
 			panic(fmt.Sprintf("core: controller: %v", err))
 		}
-		traj := ctrl.Run(opts.slots())
-		totals := make([]float64, len(traj))
-		for t, row := range traj {
-			for _, v := range row {
-				totals[t] += v
+		slots := opts.slots()
+		nf := ev.ctrl.NumFlows()
+		traj := ev.ctrl.RunAppend(slots, ev.traj[:0])
+		ev.traj = traj
+		totals := growFloats(ev.totals, slots)
+		ev.totals = totals
+		for t := 0; t < slots; t++ {
+			var tot float64
+			for _, v := range traj[t*nf : (t+1)*nf] {
+				tot += v
 			}
+			totals[t] = tot
 		}
 		res.ConvergenceSlots = congestion.SlotsToSteady(totals, 0.01)
 		res.ConvergenceSlots5 = congestion.SlotsToSteady(totals, 0.05)
 		// Report the time-averaged rates over the last quarter of the
 		// run: with a fixed step size the iterates hover around the
 		// optimizer, and the ergodic average is the converged allocation.
-		tail := len(traj) / 4
+		tail := slots / 4
 		if tail < 1 {
 			tail = 1
 		}
-		avg := make([]float64, len(pairs))
-		for t := len(traj) - tail; t < len(traj); t++ {
+		avg := growFloats(ev.avg, len(pairs))
+		ev.avg = avg
+		for f := range avg {
+			avg[f] = 0
+		}
+		for t := slots - tail; t < slots; t++ {
+			row := traj[t*nf : (t+1)*nf]
 			for f := range avg {
-				avg[f] += traj[t][f]
+				avg[f] += row[f]
 			}
 		}
 		var util float64
@@ -277,27 +316,45 @@ func Evaluate(inst *topology.Instance, s Scheme, pairs [][2]graph.NodeID, opts O
 	// Without congestion control: saturated injection on every selected
 	// route; the fluid MAC model yields the delivered (post-collapse)
 	// rates. Injection at the first hop's capacity approximates a source
-	// that keeps its first hop backlogged.
-	var allRoutes []graph.Path
-	var inject []float64
-	idxOfFlow := make([][]int, len(pairs))
-	for f, routes := range routesPerFlow {
+	// that keeps its first hop backlogged. Routes are appended flow by
+	// flow, so flow f's rates occupy a contiguous index range.
+	allRoutes := ev.allRoutes[:0]
+	inject := ev.inject[:0]
+	for _, routes := range routesPerFlow {
 		for _, p := range routes {
-			idxOfFlow[f] = append(idxOfFlow[f], len(allRoutes))
 			allRoutes = append(allRoutes, p)
 			inject = append(inject, net.Link(p[0]).Capacity)
 		}
 	}
+	ev.allRoutes, ev.inject = allRoutes, inject
 	delivered := mac.FluidDelivered(net.Network, allRoutes, inject, 0)
-	for f := range pairs {
+	pos := 0
+	for f, routes := range routesPerFlow {
 		var sum float64
-		for _, i := range idxOfFlow[f] {
-			sum += delivered[i]
+		for range routes {
+			sum += delivered[pos]
+			pos++
 		}
 		res.Flows[f].Throughput = sum
 		res.Utility += congestion.ProportionalFairness{}.Value(sum)
 	}
 	return res
+}
+
+// growPaths resizes a route-list scratch slice, reusing capacity.
+func growPaths(s [][]graph.Path, n int) [][]graph.Path {
+	if cap(s) < n {
+		return make([][]graph.Path, n)
+	}
+	return s[:n]
+}
+
+// growFloats resizes a float64 scratch slice, reusing capacity.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // Throughput is a convenience for single-flow evaluations.

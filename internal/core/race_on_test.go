@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation changes allocation counts, so the nonzero-bound alloc
+// guards only run in the dedicated non-race CI step.
+const raceEnabled = true

@@ -53,6 +53,26 @@ func TestFigure6ParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestFigure7ParallelDeterminism covers the fairness-utility sweep on the
+// batch-controller evaluation path: per-scheme utility ratio samples must
+// be bit-identical at parallel=1 and parallel=8, pinning both the wave
+// dispatch and the pooled evaluator state against scheduling effects.
+func TestFigure7ParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure 7 evaluates every scheme per replication")
+	}
+	base := SimConfig{Runs: 6, Seed: 13, Core: core.Options{Slots: 1500}}
+	serial := base
+	serial.Parallel = 1
+	wide := base
+	wide.Parallel = 8
+	r1 := Figure7(TopoResidential, serial)
+	r8 := Figure7(TopoResidential, wide)
+	if !reflect.DeepEqual(r1.Ratios, r8.Ratios) {
+		t.Fatalf("Figure7 ratios differ across worker counts:\n  parallel=1: %+v\n  parallel=8: %+v", r1.Ratios, r8.Ratios)
+	}
+}
+
 // TestConvergenceParallelDeterminism covers the early-stop sweep: the
 // wave dispatch must accept exactly the candidates the serial loop
 // accepted, in the same order, for any worker count.

@@ -475,11 +475,8 @@ func ConvergenceCtx(ctx context.Context, t Topo, cfg SimConfig) (ConvergenceResu
 		if err != nil {
 			return nil
 		}
-		traj := ctrl.Run(4000)
-		totals := make([]float64, len(traj))
-		for i, row := range traj {
-			totals[i] = row[0]
-		}
+		// Single flow, so the flat batch trajectory is the totals series.
+		totals := ctrl.RunAppend(4000, make([]float64, 0, 4000))
 		final := stats.Mean(totals[len(totals)*3/4:])
 		if final < 5 || final > 60 {
 			return nil // outside the paper's moderate-rate regime

@@ -13,7 +13,6 @@ package graph
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // Tech identifies a link technology (a medium), e.g. PLC, a WiFi channel,
@@ -183,11 +182,44 @@ func NewBuilder(model InterferenceModel) *Builder {
 	return &Builder{model: model}
 }
 
+// internedTechs maps a bitmask over the conventional technologies
+// (PLC/WiFi/WiFi2) to its canonical ascending tech list. Node tech sets
+// are immutable after Build, so all nodes with the same interfaces share
+// one backing array — sweeps build thousands of topologies and the
+// per-node slice was a measurable share of their allocations.
+var internedTechs = [8][]Tech{
+	1: {TechPLC},
+	2: {TechWiFi},
+	3: {TechPLC, TechWiFi},
+	4: {TechWiFi2},
+	5: {TechPLC, TechWiFi2},
+	6: {TechWiFi, TechWiFi2},
+	7: {TechPLC, TechWiFi, TechWiFi2},
+}
+
 // AddNode adds a node and returns its ID.
 func (b *Builder) AddNode(name string, x, y float64, techs ...Tech) NodeID {
 	id := NodeID(len(b.nodes))
-	ts := append([]Tech(nil), techs...)
-	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	mask, ok := 0, true
+	for _, t := range techs {
+		if t < 0 || t > TechWiFi2 {
+			ok = false
+			break
+		}
+		mask |= 1 << t
+	}
+	var ts []Tech
+	if ok && len(internedTechs[mask]) == len(techs) {
+		ts = internedTechs[mask]
+	} else {
+		// Unconventional technologies or duplicates: durable sorted copy.
+		ts = append([]Tech(nil), techs...)
+		for i := 1; i < len(ts); i++ {
+			for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+				ts[j], ts[j-1] = ts[j-1], ts[j]
+			}
+		}
+	}
 	b.nodes = append(b.nodes, Node{ID: id, Name: name, X: x, Y: y, Techs: ts})
 	return id
 }
@@ -213,34 +245,80 @@ func (b *Builder) AddDuplex(u, v NodeID, tech Tech, capacity float64) (LinkID, L
 }
 
 // Build computes the interference domains and adjacency and returns the
-// Network.
+// Network. Both structures are built in two passes (count, then fill) over
+// single flat backing arrays: the §5 sweeps rebuild thousands of topologies
+// and the per-list append growth plus sort.Slice dominated their allocation
+// profile. The fill orders reproduce the original appended-then-sorted
+// lists exactly: adjacency in link order, interference ascending by LinkID
+// with the link itself included.
 func (b *Builder) Build() *Network {
 	net := &Network{
 		Nodes: b.nodes,
 		Links: b.links,
 		model: b.model,
 	}
-	net.out = make([][]LinkID, len(net.Nodes))
-	net.in = make([][]LinkID, len(net.Nodes))
-	for _, l := range net.Links {
+	nn, nl := len(net.Nodes), len(net.Links)
+
+	net.out = make([][]LinkID, nn)
+	net.in = make([][]LinkID, nn)
+	degOut := make([]int, nn)
+	degIn := make([]int, nn)
+	for i := range net.Links {
+		degOut[net.Links[i].From]++
+		degIn[net.Links[i].To]++
+	}
+	adjFlat := make([]LinkID, 2*nl)
+	pos := 0
+	for n := 0; n < nn; n++ {
+		net.out[n] = adjFlat[pos:pos : pos+degOut[n]]
+		pos += degOut[n]
+		net.in[n] = adjFlat[pos:pos : pos+degIn[n]]
+		pos += degIn[n]
+	}
+	for i := range net.Links {
+		l := &net.Links[i]
 		net.out[l.From] = append(net.out[l.From], l.ID)
 		net.in[l.To] = append(net.in[l.To], l.ID)
 	}
-	net.interference = make([][]LinkID, len(net.Links))
-	for i := range net.Links {
-		net.interference[i] = append(net.interference[i], LinkID(i))
-	}
-	for i := range net.Links {
-		for j := i + 1; j < len(net.Links); j++ {
+
+	// Interference: one Interferes call per unordered pair, recorded in a
+	// bitmap (bit i*nl+j for i<j) alongside per-link domain sizes, then an
+	// ascending fill over the flat backing.
+	net.interference = make([][]LinkID, nl)
+	bits := make([]uint64, (nl*nl+63)/64)
+	count := make([]int, nl)
+	total := nl // every domain contains the link itself
+	for i := 0; i < nl; i++ {
+		count[i]++
+		for j := i + 1; j < nl; j++ {
 			if b.model.Interferes(net, &net.Links[i], &net.Links[j]) {
-				net.interference[i] = append(net.interference[i], LinkID(j))
-				net.interference[j] = append(net.interference[j], LinkID(i))
+				p := i*nl + j
+				bits[p>>6] |= 1 << (p & 63)
+				count[i]++
+				count[j]++
+				total += 2
 			}
 		}
 	}
-	for i := range net.interference {
-		s := net.interference[i]
-		sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	intFlat := make([]LinkID, total)
+	pos = 0
+	for i := 0; i < nl; i++ {
+		row := intFlat[pos:pos : pos+count[i]]
+		for j := 0; j < i; j++ {
+			p := j*nl + i
+			if bits[p>>6]&(1<<(p&63)) != 0 {
+				row = append(row, LinkID(j))
+			}
+		}
+		row = append(row, LinkID(i))
+		for j := i + 1; j < nl; j++ {
+			p := i*nl + j
+			if bits[p>>6]&(1<<(p&63)) != 0 {
+				row = append(row, LinkID(j))
+			}
+		}
+		net.interference[i] = row
+		pos += count[i]
 	}
 	return net
 }

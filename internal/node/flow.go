@@ -64,6 +64,9 @@ type Flow struct {
 	lastQR  []float64
 	tuner   *congestion.AlphaTuner
 	util    congestion.Utility
+	// seqBuf is scratch for the sequential-rate warm starts (seedRates,
+	// setRoutesOn): reroutes and flow churn stay allocation-free.
+	seqBuf []float64
 
 	// Token bucket shaping at rate Σx (bits), with a small queue ahead
 	// of the drop decision to absorb transport bursts.
@@ -443,7 +446,8 @@ func (f *Flow) sendPacket(r int, payloadBytes int, meta interface{}) {
 // reaching near-target rates within seconds (Figure 9/10-right); the
 // controller then trims against the measured prices.
 func (f *Flow) seedRates() {
-	for i, r := range routing.SequentialRates(f.em.Net, f.routes) {
+	f.seqBuf = routing.AppendSequentialRates(f.em.Net, f.routes, f.seqBuf[:0])
+	for i, r := range f.seqBuf {
 		x := 0.85 * r
 		if x < f.em.cfg.initialRate() {
 			x = f.em.cfg.initialRate()

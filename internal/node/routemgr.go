@@ -43,6 +43,9 @@ type RouteManager struct {
 	Reroutes int
 
 	lastTotal float64
+	// seqBuf is scratch for the periodic sequential-rate evaluations, so
+	// the 2 s maintenance rounds stay allocation-free.
+	seqBuf []float64
 	// lastNetTotal tracks the network-wide estimated capacity sum: the
 	// cheap signal for "a large capacity variation occurred" somewhere
 	// else than on the current routes — most importantly, a previously
@@ -133,7 +136,8 @@ func (e *Emulation) EstimatedNetwork() *graph.Network {
 // residual graph (the §3.2 accounting).
 func (m *RouteManager) currentTotal(view *graph.Network) float64 {
 	var total float64
-	for _, r := range routing.SequentialRates(view, m.flow.routes) {
+	m.seqBuf = routing.AppendSequentialRates(view, m.flow.routes, m.seqBuf[:0])
+	for _, r := range m.seqBuf {
 		if r > 0 {
 			total += r
 		}
@@ -179,7 +183,8 @@ func (m *RouteManager) checkWith(view *graph.Network) {
 		return // nothing better known; keep limping
 	}
 	total := 0.0
-	for _, r := range routing.SequentialRates(view, paths) {
+	m.seqBuf = routing.AppendSequentialRates(view, paths, m.seqBuf[:0])
+	for _, r := range m.seqBuf {
 		if r > 0 {
 			total += r
 		}
@@ -270,7 +275,8 @@ func (f *Flow) setRoutesOn(view *graph.Network, routes []graph.Path) error {
 	// from ground truth. A reroute then costs tens of controller slots
 	// instead of a from-scratch ramp, which is what makes mid-failure
 	// reroutes (the §3.2 policy) non-disruptive.
-	for i, r := range routing.SequentialRates(view, f.routes) {
+	f.seqBuf = routing.AppendSequentialRates(view, f.routes, f.seqBuf[:0])
+	for i, r := range f.seqBuf {
 		x := 0.85 * r
 		if x < f.em.cfg.initialRate() {
 			x = f.em.cfg.initialRate()

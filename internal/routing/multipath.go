@@ -159,18 +159,28 @@ func SequentialRates(net *graph.Network, paths []graph.Path) []float64 {
 	if len(paths) == 0 {
 		return nil
 	}
+	return AppendSequentialRates(net, paths, make([]float64, 0, len(paths)))
+}
+
+// AppendSequentialRates appends R(P_i) for each path to dst and returns
+// the extended slice: the allocation-free form of SequentialRates for
+// callers that keep a scratch buffer (controller seeding on the sweep and
+// emulation hot paths).
+func AppendSequentialRates(net *graph.Network, paths []graph.Path, dst []float64) []float64 {
+	if len(paths) == 0 {
+		return dst
+	}
 	ws := getWS(net)
 	ws.fillCap()
-	out := make([]float64, len(paths))
-	for i, p := range paths {
+	for _, p := range paths {
 		r := ws.ratePath(ws.capRoot, p)
-		out[i] = r
+		dst = append(dst, r)
 		if r > 0 {
 			ws.update(ws.capRoot, p, r)
 		}
 	}
 	putWS(ws)
-	return out
+	return dst
 }
 
 // capacityEpsilon (Mbps) flushes numerical residue to zero so the
@@ -196,20 +206,21 @@ func Multipath(net *graph.Network, src, dst graph.NodeID, cfg Config) Combinatio
 	ws := getWS(net)
 	ws.prepareSearch()
 	var best Combination
-	ws.explore(ws.capRoot, src, dst, cfg, 0, Combination{}, &best)
+	ws.explore(ws.capRoot, src, dst, cfg, 0, 0, &best)
+	best.Paths = copyPaths(best.Paths) // winner escapes the workspace arena
 	putWS(ws)
 	return best
 }
 
 // explore recurses over the exploration tree. Each child vertex is a
 // capacity overlay drawn from the workspace free list — copy the parent's
-// capacities, apply update(P,G) in place — rather than a Network clone;
-// the overlay returns to the free list once the subtree is done.
-func (ws *workspace) explore(capv []float64, src, dst graph.NodeID, cfg Config, depth int, cur Combination, best *Combination) {
+// capacities, apply update(P,G) in place — rather than a Network clone.
+// The branch from the root to the current vertex lives on the workspace
+// branch stacks instead of per-vertex Combination copies; only an improving
+// leaf (or depth cutoff) copies the stacks into best.
+func (ws *workspace) explore(capv []float64, src, dst graph.NodeID, cfg Config, depth int, total float64, best *Combination) {
 	if cfg.MaxDepth > 0 && depth >= cfg.MaxDepth {
-		if cur.Total > best.Total {
-			*best = cur
-		}
+		ws.captureBest(total, best)
 		return
 	}
 	paths := ws.nShortest(capv, src, dst, cfg)
@@ -224,17 +235,31 @@ func (ws *workspace) explore(capv []float64, src, dst graph.NodeID, cfg Config, 
 		child := ws.getOverlay()
 		copy(child, capv)
 		ws.update(child, p, r)
-		next := Combination{
-			Paths: append(append([]graph.Path(nil), cur.Paths...), p),
-			Rates: append(append([]float64(nil), cur.Rates...), r),
-			Total: cur.Total + r,
-		}
-		ws.explore(child, src, dst, cfg, depth+1, next, best)
+		ws.branchPaths = append(ws.branchPaths, p)
+		ws.branchRates = append(ws.branchRates, r)
+		ws.explore(child, src, dst, cfg, depth+1, total+r, best)
+		ws.branchPaths = ws.branchPaths[:len(ws.branchPaths)-1]
+		ws.branchRates = ws.branchRates[:len(ws.branchRates)-1]
 		ws.putOverlay(child)
 	}
-	if leaf && cur.Total > best.Total {
-		*best = cur
+	ws.putPathSlice(paths)
+	if leaf {
+		ws.captureBest(total, best)
 	}
+}
+
+// captureBest copies the current branch stacks into best when the branch's
+// total beats the best so far. The path headers still point into the
+// workspace arena; Multipath deep-copies the winner before returning. The
+// strict > keeps the reference implementation's tie-breaking: among equal
+// totals the branch visited first wins.
+func (ws *workspace) captureBest(total float64, best *Combination) {
+	if total <= best.Total {
+		return
+	}
+	best.Paths = append(best.Paths[:0], ws.branchPaths...)
+	best.Rates = append(best.Rates[:0], ws.branchRates...)
+	best.Total = total
 }
 
 // TwoBestPaths implements the naive MP-2bp baseline of §5.1: the two best

@@ -80,6 +80,22 @@ type workspace struct {
 	// longer paths fall back to a string key.
 	packBase   uint64
 	maxPackLen int
+
+	// Link arena for the paths built during one search (Yen's accepted
+	// and candidate paths, the exploration tree's branches). Chunks are
+	// never reallocated, so arena paths stay valid until the next
+	// prepareSearch; results that outlive the call (Multipath/NShortest
+	// returns) are deep-copied out on exit.
+	chunks [][]graph.LinkID
+	chunkI int
+
+	// Free list of path-slice headers (nShortest accepted lists).
+	pathSlices [][]graph.Path
+
+	// Exploration-tree branch stack: the root-to-vertex paths and rates,
+	// replacing the per-vertex Combination copies.
+	branchPaths []graph.Path
+	branchRates []float64
 }
 
 // heapState is a dijkstra frontier entry. The heap is a manual binary heap
@@ -163,6 +179,85 @@ func (ws *workspace) prepareSearch() {
 			ws.maxPackLen++
 		}
 	}
+
+	ws.arenaReset()
+	ws.branchPaths = ws.branchPaths[:0]
+	ws.branchRates = ws.branchRates[:0]
+}
+
+// arenaChunkLinks is the size of one arena chunk. Paths longer than this
+// (impossible under realistic hop limits) fall back to a plain allocation.
+const arenaChunkLinks = 1024
+
+// arenaReset recycles every arena chunk for a new top-level search. Paths
+// handed out before the reset must not be referenced afterwards; the public
+// entry points guarantee that by deep-copying escaping results.
+func (ws *workspace) arenaReset() {
+	for i := range ws.chunks {
+		ws.chunks[i] = ws.chunks[i][:0]
+	}
+	ws.chunkI = 0
+}
+
+// arenaAlloc carves a path of length n out of the arena. Chunks are never
+// reallocated, so the returned slice stays valid until the next arenaReset.
+func (ws *workspace) arenaAlloc(n int) graph.Path {
+	if n > arenaChunkLinks {
+		return make(graph.Path, n)
+	}
+	for {
+		if ws.chunkI == len(ws.chunks) {
+			ws.chunks = append(ws.chunks, make([]graph.LinkID, 0, arenaChunkLinks))
+		}
+		c := ws.chunks[ws.chunkI]
+		if len(c)+n <= cap(c) {
+			p := c[len(c) : len(c)+n : len(c)+n]
+			ws.chunks[ws.chunkI] = c[:len(c)+n]
+			return p
+		}
+		ws.chunkI++
+	}
+}
+
+// getPathSlice returns an empty path-header slice from the free list;
+// putPathSlice gives one back once its paths are consumed. nShortest takes
+// one per call (including empty-result returns) and every caller returns
+// it, so the free list never grows past the exploration depth.
+func (ws *workspace) getPathSlice() []graph.Path {
+	if k := len(ws.pathSlices); k > 0 {
+		s := ws.pathSlices[k-1]
+		ws.pathSlices[k-1] = nil
+		ws.pathSlices = ws.pathSlices[:k-1]
+		return s[:0]
+	}
+	return nil
+}
+
+func (ws *workspace) putPathSlice(s []graph.Path) {
+	ws.pathSlices = append(ws.pathSlices, s[:0])
+}
+
+// copyPaths deep-copies arena-backed paths into fresh storage — one flat
+// backing array plus the header slice — so results can outlive the
+// workspace that built them. Empty input yields nil.
+func copyPaths(src []graph.Path) []graph.Path {
+	if len(src) == 0 {
+		return nil
+	}
+	n := 0
+	for _, p := range src {
+		n += len(p)
+	}
+	flat := make([]graph.LinkID, n)
+	out := make([]graph.Path, len(src))
+	pos := 0
+	for i, p := range src {
+		end := pos + len(p)
+		out[i] = flat[pos:end:end]
+		copy(out[i], p)
+		pos = end
+	}
+	return out
 }
 
 // fillCap copies the network's current capacities into the root overlay.

@@ -13,7 +13,9 @@ import (
 func NShortest(net *graph.Network, src, dst graph.NodeID, cfg Config) []graph.Path {
 	ws := getWS(net)
 	ws.prepareSearch()
-	out := ws.nShortest(ws.capRoot, src, dst, cfg)
+	res := ws.nShortest(ws.capRoot, src, dst, cfg)
+	out := copyPaths(res)
+	ws.putPathSlice(res)
 	putWS(ws)
 	return out
 }
@@ -23,20 +25,21 @@ func NShortest(net *graph.Network, src, dst graph.NodeID, cfg Config) []graph.Pa
 // (weight, generation) — which selects exactly the candidate the reference
 // implementation's repeated stable sort selects — and path de-duplication
 // uses packed comparable keys instead of strings. Accepted and candidate
-// paths are durable copies; everything else is workspace scratch.
+// paths live in the workspace link arena and the result header slice comes
+// from the free list: callers must hand the result back with putPathSlice
+// (deep-copying via copyPaths anything that escapes the workspace).
 func (ws *workspace) nShortest(capv []float64, src, dst graph.NodeID, cfg Config) []graph.Path {
 	if cfg.N <= 0 {
-		return nil
+		return ws.getPathSlice()
 	}
 	ws.computeWns(capv)
 	p0, w0 := ws.dijkstra(capv, src, dst, cfg, noTech, false)
 	if math.IsInf(w0, 1) {
-		return nil
+		return ws.getPathSlice()
 	}
-	first := make(graph.Path, len(p0))
+	first := ws.arenaAlloc(len(p0))
 	copy(first, p0)
-	accepted := make([]graph.Path, 0, cfg.N)
-	accepted = append(accepted, first)
+	accepted := append(ws.getPathSlice(), first)
 
 	if ws.seenKeys == nil {
 		ws.seenKeys = make(map[pathKey]struct{}, 32)
@@ -94,7 +97,7 @@ func (ws *workspace) nShortest(capv []float64, src, dst graph.NodeID, cfg Config
 				continue
 			}
 			ws.seenKeys[k] = struct{}{}
-			durable := make(graph.Path, len(total))
+			durable := ws.arenaAlloc(len(total))
 			copy(durable, total)
 			cands = heapPushCand(cands, candEntry{
 				weight: pathWeightView(ws, capv, durable, cfg),
@@ -111,7 +114,7 @@ func (ws *workspace) nShortest(capv []float64, src, dst graph.NodeID, cfg Config
 		accepted = append(accepted, next.path)
 	}
 	for i := range cands {
-		cands[i] = candEntry{} // release unpopped candidate paths for GC
+		cands[i] = candEntry{} // drop stale arena-path headers
 	}
 	ws.cands = cands[:0]
 	return accepted

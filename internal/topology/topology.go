@@ -184,7 +184,7 @@ func (inst *Instance) Build(view View) *Network {
 		}
 		name := spec.Name
 		if name == "" {
-			name = fmt.Sprintf("n%d", i+1)
+			name = defaultNodeName(i + 1)
 		}
 		b.AddNode(name, spec.X, spec.Y, techs...)
 	}
@@ -213,6 +213,23 @@ func (inst *Instance) Build(view View) *Network {
 		}
 	}
 	return net
+}
+
+// nodeNames interns the default "n1", "n2", ... node names: sweeps
+// materialize thousands of instances and the per-node fmt.Sprintf was the
+// single largest allocation source of a Figure-4 run.
+var nodeNames = func() (a [64]string) {
+	for i := range a {
+		a[i] = fmt.Sprintf("n%d", i)
+	}
+	return
+}()
+
+func defaultNodeName(i int) string {
+	if i >= 0 && i < len(nodeNames) {
+		return nodeNames[i]
+	}
+	return fmt.Sprintf("n%d", i)
 }
 
 // BuildCached returns the instance's materialization of a view, building

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# End-to-end smoke: builds every CLI, gives each a tiny run, and asserts
+# exit codes plus output shape. This is the check that the five binaries
+# stay wired together — flags parse, JSON envelopes keep their fields,
+# figures actually produce samples — independent of the unit suites.
+#
+# Usage: scripts/e2e.sh [bin-dir]
+#   bin-dir defaults to a temporary directory that is removed on exit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bindir="${1:-}"
+if [[ -z "$bindir" ]]; then
+  bindir="$(mktemp -d)"
+  trap 'rm -rf "$bindir"' EXIT
+fi
+
+clis=(empower-sim empower-testbed empower-scenario empower-route empower-fuzz)
+
+echo "== build (${clis[*]})" >&2
+for c in "${clis[@]}"; do
+  go build -o "$bindir/$c" "./cmd/$c"
+done
+
+# jq_check DESC FILE FILTER — asserts FILTER evaluates truthy on FILE.
+jq_check() {
+  local desc="$1" file="$2" filter="$3"
+  if ! jq -e "$filter" "$file" > /dev/null; then
+    echo "e2e: $desc: jq assertion failed: $filter" >&2
+    echo "---- output ----" >&2
+    cat "$file" >&2
+    exit 1
+  fi
+}
+
+echo "== empower-sim (figure 4, residential, 2 runs)" >&2
+"$bindir/empower-sim" -fig 4 -topo residential -runs 2 -slots 300 -seed 1 -parallel 2 -json \
+  > "$bindir/sim.json"
+jq_check "empower-sim envelope" "$bindir/sim.json" \
+  '.figure == "4" and .topo == "residential" and .seed == 1 and (.result | type == "object")'
+jq_check "empower-sim samples" "$bindir/sim.json" \
+  '.result.Samples | type == "object" and (keys | length) > 0'
+
+echo "== empower-testbed (figure 10, 2 pairs, 5 emulated seconds)" >&2
+"$bindir/empower-testbed" -fig 10 -duration 5 -pairs 2 -seed 1 -parallel 2 -json \
+  > "$bindir/testbed.json"
+jq_check "empower-testbed envelope" "$bindir/testbed.json" \
+  '.figure == "10" and (.result | type == "object")'
+
+echo "== empower-scenario (flaps, 2 runs, 2 schemes)" >&2
+"$bindir/empower-scenario" -scenario examples/scenarios/flaps.json -runs 2 -seed 7 \
+  -schemes EMPoWER,SP -json > "$bindir/scenario.json"
+jq_check "empower-scenario envelope" "$bindir/scenario.json" \
+  '.experiment == "churn-failover" and .seed == 7 and (.result | type == "object")'
+jq_check "empower-scenario scheme rows" "$bindir/scenario.json" \
+  '[.result.rows[].scheme] | contains(["EMPoWER", "SP"])'
+
+echo "== empower-route (built-in Figure 1 example)" >&2
+"$bindir/empower-route" -example -n 3 > "$bindir/route.out"
+grep -q '^single-path:' "$bindir/route.out"
+grep -q '^3-shortest:' "$bindir/route.out"
+grep -q '^multipath combination' "$bindir/route.out"
+
+echo "== empower-fuzz (3 scenarios)" >&2
+"$bindir/empower-fuzz" -runs 3 -seed 1 -out "$bindir/fuzz-failures" > "$bindir/fuzz.out"
+if [[ -d "$bindir/fuzz-failures" ]] && [[ -n "$(ls -A "$bindir/fuzz-failures" 2>/dev/null)" ]]; then
+  echo "e2e: empower-fuzz wrote reproducers:" >&2
+  ls "$bindir/fuzz-failures" >&2
+  exit 1
+fi
+
+echo "e2e: all CLIs OK" >&2
