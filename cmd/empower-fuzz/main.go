@@ -38,9 +38,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/fuzz"
 )
@@ -76,9 +80,17 @@ func main() {
 		}
 	}
 
-	res, err := fuzz.Run(cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := fuzz.RunCtx(ctx, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "empower-fuzz:", err)
+		// Interruption (SIGINT/SIGTERM between scenarios) exits 130,
+		// shell-style, so wrappers can tell "cancelled" from "failed".
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 	if res.Failure != nil {

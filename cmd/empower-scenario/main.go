@@ -72,12 +72,14 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -121,7 +123,7 @@ func main() {
 	schemes, err := experiments.ParseSchemes(*schemesCSV)
 	fail(err)
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	cfg := experiments.ChurnConfig{
@@ -266,8 +268,14 @@ func parseFloats(csv string) ([]float64, error) {
 }
 
 func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "empower-scenario:", err)
-		os.Exit(1)
+	if err == nil {
+		return
 	}
+	fmt.Fprintln(os.Stderr, "empower-scenario:", err)
+	// Interruption (SIGINT/SIGTERM cancelling the sweep context) exits
+	// 130, shell-style, so wrappers can tell "cancelled" from "failed".
+	if errors.Is(err, context.Canceled) {
+		os.Exit(130)
+	}
+	os.Exit(1)
 }

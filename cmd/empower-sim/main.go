@@ -37,12 +37,14 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -77,7 +79,7 @@ func main() {
 		}
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	cfg := experiments.SimConfig{
@@ -190,10 +192,16 @@ func main() {
 }
 
 func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "empower-sim:", err)
-		os.Exit(1)
+	if err == nil {
+		return
 	}
+	fmt.Fprintln(os.Stderr, "empower-sim:", err)
+	// Interruption (SIGINT/SIGTERM cancelling the sweep context) exits
+	// 130, shell-style, so wrappers can tell "cancelled" from "failed".
+	if errors.Is(err, context.Canceled) {
+		os.Exit(130)
+	}
+	os.Exit(1)
 }
 
 // dumpCDF writes a sample set's CDF to dir/name when -out is set.

@@ -47,10 +47,12 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -82,7 +84,7 @@ func main() {
 		*repeats = *runs
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	cfg := experiments.TestbedConfig{
@@ -192,8 +194,14 @@ func shardsValue(n int) int {
 }
 
 func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "empower-testbed:", err)
-		os.Exit(1)
+	if err == nil {
+		return
 	}
+	fmt.Fprintln(os.Stderr, "empower-testbed:", err)
+	// Interruption (SIGINT/SIGTERM cancelling the sweep context) exits
+	// 130, shell-style, so wrappers can tell "cancelled" from "failed".
+	if errors.Is(err, context.Canceled) {
+		os.Exit(130)
+	}
+	os.Exit(1)
 }

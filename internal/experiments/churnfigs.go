@@ -173,17 +173,23 @@ type ChurnResult struct {
 	Rows     []ChurnRow `json:"rows"`
 }
 
-// churnRun is one (run, scheme) replication outcome.
-type churnRun struct {
-	lat              []float64
-	censored         int
-	goodput          float64
-	degraded         []float64
-	reroutes         int
-	skipped          int
-	drops            map[string]int
-	violations       int
-	violationDetails []string
+// ChurnRepOut is one (run, scheme) replication outcome — the unit of
+// work a churn failover sweep checkpoints. It is deliberately a plain
+// JSON-serializable record with no omitempty tags: a round trip through
+// encoding/json is lossless in every aspect MergeChurnReps folds on
+// (float64 encodes with shortest-roundtrip precision; a nil Drops map
+// stays nil through null), so a sweep resumed from persisted rep
+// records merges to output byte-identical to an uninterrupted run.
+type ChurnRepOut struct {
+	Latencies        []float64      `json:"latencies"`
+	Censored         int            `json:"censored"`
+	Goodput          float64        `json:"goodput"`
+	Degraded         []float64      `json:"degraded"`
+	Reroutes         int            `json:"reroutes"`
+	Skipped          int            `json:"skipped"`
+	Drops            map[string]int `json:"drops"`
+	Violations       int            `json:"violations"`
+	ViolationDetails []string       `json:"violation_details"`
 }
 
 // bindChurn builds one (run, scheme) replication's emulation and binds
@@ -222,7 +228,7 @@ func bindChurn(sc *scenario.Scenario, scheme core.Scheme, cfg ChurnConfig, run i
 // sweeps are bit-identical at any worker count; the topology realization
 // and the expanded event timeline depend only on the run, so schemes are
 // compared on paired instances.
-func churnReplication(sc *scenario.Scenario, scheme core.Scheme, cfg ChurnConfig, run int, emSeed int64) (*churnRun, error) {
+func churnReplication(sc *scenario.Scenario, scheme core.Scheme, cfg ChurnConfig, run int, emSeed int64) (*ChurnRepOut, error) {
 	bindStart := time.Now()
 	rt, err := bindChurn(sc, scheme, cfg, run, emSeed, cfg.recorder())
 	if err != nil {
@@ -234,20 +240,20 @@ func churnReplication(sc *scenario.Scenario, scheme core.Scheme, cfg ChurnConfig
 	cfg.Phases.AddRun(time.Since(runStart))
 	collectStart := time.Now()
 	lat, censored := rt.FailoverLatencies(cfg.bin(), cfg.frac())
-	out := &churnRun{
-		lat:      lat,
-		censored: censored,
-		goodput:  rt.AggregateGoodput(),
-		degraded: rt.DegradedGoodput(),
-		reroutes: rt.Reroutes(),
-		skipped:  len(rt.SkippedFlows),
+	out := &ChurnRepOut{
+		Latencies: lat,
+		Censored:  censored,
+		Goodput:   rt.AggregateGoodput(),
+		Degraded:  rt.DegradedGoodput(),
+		Reroutes:  rt.Reroutes(),
+		Skipped:   len(rt.SkippedFlows),
 	}
 	if cfg.Invariants {
-		out.drops = rt.DropsByReason()
+		out.Drops = rt.DropsByReason()
 		vs := rt.Violations()
-		out.violations = len(vs)
+		out.Violations = len(vs)
 		for _, v := range vs {
-			out.violationDetails = append(out.violationDetails,
+			out.ViolationDetails = append(out.ViolationDetails,
 				rt.ViolationReport(v, violationTail))
 		}
 	}
@@ -300,42 +306,70 @@ func ChurnFailover(sc *scenario.Scenario, cfg ChurnConfig) (ChurnResult, error) 
 
 // ChurnFailoverCtx is ChurnFailover with cancellation. Replications fan
 // out over (run, scheme) on the parallel runner and fold back in run
-// order per scheme.
+// order per scheme. It is exactly ChurnReps + ChurnRepJob + a full
+// runner.Run + MergeChurnReps — the same primitives a checkpointing
+// service composes with runner.RunFrom, so a resumed sweep reproduces
+// this function's output bit for bit.
 func ChurnFailoverCtx(ctx context.Context, sc *scenario.Scenario, cfg ChurnConfig) (ChurnResult, error) {
+	outs, err := runner.Run(ctx, ChurnReps(cfg),
+		runner.Config{Workers: cfg.Parallel, BaseSeed: cfg.Seed, OnProgress: cfg.Progress, OnJobTime: cfg.JobTime},
+		ChurnRepJob(sc, cfg))
+	if err != nil {
+		return ChurnResult{Scenario: sc.Name, Runs: cfg.runs()}, err
+	}
+	return MergeChurnReps(sc.Name, cfg, outs), nil
+}
+
+// ChurnReps returns the flat replication count of a churn failover
+// sweep: runs × schemes. Index i maps to run i/len(schemes), scheme
+// i%len(schemes) — the layout ChurnRepJob and MergeChurnReps share.
+func ChurnReps(cfg ChurnConfig) int {
+	return cfg.runs() * len(cfg.schemes())
+}
+
+// ChurnRepJob returns the per-replication job of the churn failover
+// sweep in the runner's flat index space. Every seed a replication draws
+// is a pure function of (cfg.Seed, index), so any subset of indices can
+// be executed on any pool — or re-executed after a crash — and yield the
+// identical ChurnRepOut.
+func ChurnRepJob(sc *scenario.Scenario, cfg ChurnConfig) runner.Job[*ChurnRepOut] {
+	schemes := cfg.schemes()
+	return func(_ context.Context, rep runner.Rep) (*ChurnRepOut, error) {
+		run, si := rep.Index/len(schemes), rep.Index%len(schemes)
+		return churnReplication(sc, schemes[si], cfg, run, rep.Seed)
+	}
+}
+
+// MergeChurnReps folds a complete, index-ordered replication set into
+// the sweep result. The fold is a pure function of the slice contents,
+// so callers that persist ChurnRepOut records (a checkpointing daemon)
+// and callers that hold them in memory (ChurnFailoverCtx) produce the
+// same ChurnResult — and the same JSON bytes — for the same sweep.
+// Every entry must be non-nil and outs must have length ChurnReps(cfg).
+func MergeChurnReps(scenarioName string, cfg ChurnConfig, outs []*ChurnRepOut) ChurnResult {
 	schemes := cfg.schemes()
 	runs := cfg.runs()
-	res := ChurnResult{Scenario: sc.Name, Runs: runs}
-
-	outs, err := runner.Run(ctx, runs*len(schemes),
-		runner.Config{Workers: cfg.Parallel, BaseSeed: cfg.Seed, OnProgress: cfg.Progress, OnJobTime: cfg.JobTime},
-		func(_ context.Context, rep runner.Rep) (*churnRun, error) {
-			run, si := rep.Index/len(schemes), rep.Index%len(schemes)
-			return churnReplication(sc, schemes[si], cfg, run, rep.Seed)
-		})
-	if err != nil {
-		return res, err
-	}
-
+	res := ChurnResult{Scenario: scenarioName, Runs: runs}
 	for si, scheme := range schemes {
 		row := ChurnRow{Scheme: scheme.String()}
 		var goodputs, degraded []float64
 		for run := 0; run < runs; run++ {
 			out := outs[run*len(schemes)+si]
-			row.Latencies = append(row.Latencies, out.lat...)
-			row.Censored += out.censored
-			row.Reroutes += out.reroutes
-			row.SkippedFlows += out.skipped
-			goodputs = append(goodputs, out.goodput)
-			degraded = append(degraded, out.degraded...)
-			if out.drops != nil {
+			row.Latencies = append(row.Latencies, out.Latencies...)
+			row.Censored += out.Censored
+			row.Reroutes += out.Reroutes
+			row.SkippedFlows += out.Skipped
+			goodputs = append(goodputs, out.Goodput)
+			degraded = append(degraded, out.Degraded...)
+			if out.Drops != nil {
 				if row.Drops == nil {
 					row.Drops = map[string]int{}
 				}
-				for reason, n := range out.drops {
+				for reason, n := range out.Drops {
 					row.Drops[reason] += n
 				}
-				row.Violations += out.violations
-				row.ViolationDetails = append(row.ViolationDetails, out.violationDetails...)
+				row.Violations += out.Violations
+				row.ViolationDetails = append(row.ViolationDetails, out.ViolationDetails...)
 			}
 		}
 		row.Episodes = len(row.Latencies) + row.Censored
@@ -344,7 +378,7 @@ func ChurnFailoverCtx(ctx context.Context, sc *scenario.Scenario, cfg ChurnConfi
 		row.DegradedGoodput = stats.Mean(degraded)
 		res.Rows = append(res.Rows, row)
 	}
-	return res, nil
+	return res
 }
 
 // medianWithCensored returns the median of the episode latencies with
@@ -444,7 +478,7 @@ func ChurnFlapSweepCtx(ctx context.Context, sc *scenario.Scenario, cfg ChurnConf
 	perRate := runs * len(schemes)
 	outs, err := runner.Run(ctx, len(ratesPerMin)*perRate,
 		runner.Config{Workers: cfg.Parallel, BaseSeed: cfg.Seed, OnProgress: cfg.Progress, OnJobTime: cfg.JobTime},
-		func(_ context.Context, rep runner.Rep) (*churnRun, error) {
+		func(_ context.Context, rep runner.Rep) (*ChurnRepOut, error) {
 			ri := rep.Index / perRate
 			rem := rep.Index % perRate
 			run, si := rem/len(schemes), rem%len(schemes)
@@ -460,7 +494,7 @@ func ChurnFlapSweepCtx(ctx context.Context, sc *scenario.Scenario, cfg ChurnConf
 		for ri := range ratesPerMin {
 			var g []float64
 			for run := 0; run < runs; run++ {
-				g = append(g, outs[ri*perRate+run*len(schemes)+si].goodput)
+				g = append(g, outs[ri*perRate+run*len(schemes)+si].Goodput)
 			}
 			res.Goodput[si][ri] = stats.Mean(g)
 		}

@@ -1,0 +1,41 @@
+package fleet
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestExampleSweepsParse is the sweep-spec schema-drift guard, the
+// sibling of scenario.TestExampleScenariosLoadAndBind: every JSON under
+// examples/sweeps must pass the strict POST /sweeps parser — scenario
+// included — and derive a sane replication count. A renamed spec field
+// or scenario-schema change that breaks the shipped examples fails
+// here, not against a live daemon.
+func TestExampleSweepsParse(t *testing.T) {
+	files, err := filepath.Glob("../../examples/sweeps/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 2 {
+		t.Fatalf("found %d example sweep specs, want at least quickstart and churn-audit", len(files))
+	}
+	for _, path := range files {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, err := ParseSpec(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if spec.Total <= 0 {
+				t.Fatalf("spec derives %d replications", spec.Total)
+			}
+			if spec.Scenario == nil || spec.Scenario.Topology == nil {
+				t.Fatal("example spec lacks a self-contained scenario")
+			}
+		})
+	}
+}

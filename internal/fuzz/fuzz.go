@@ -20,6 +20,7 @@
 package fuzz
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -147,8 +148,18 @@ type Result struct {
 
 // Run executes the session.
 func Run(cfg Config) (Result, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run with cancellation: the session checks ctx between
+// scenarios (one scenario's checks are not preempted mid-run) and
+// returns ctx.Err() with the partial result when interrupted.
+func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 	var res Result
 	for i := 0; i < cfg.runs(); i++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		rng := stats.NewRand(stats.SplitSeed(cfg.Seed, seedGenerate+i))
 		sc := Generate(rng, cfg.maxDuration())
 		sc.Name = fmt.Sprintf("fuzz-%d", i)

@@ -93,6 +93,60 @@ type panicRecord struct {
 	stack []byte
 }
 
+// RepSet is a fixed-size bitset over replication indices [0, total) —
+// the checkpoint currency of resumable sweeps. A sweep's completed set
+// is a RepSet; RunFrom skips its members. The zero value is unusable;
+// build with NewRepSet.
+type RepSet struct {
+	bits  []uint64
+	total int
+	count int
+}
+
+// NewRepSet returns an empty set over [0, total).
+func NewRepSet(total int) *RepSet {
+	if total < 0 {
+		total = 0
+	}
+	return &RepSet{bits: make([]uint64, (total+63)/64), total: total}
+}
+
+// Add marks index i completed. Out-of-range indices are ignored.
+func (s *RepSet) Add(i int) {
+	if s == nil || i < 0 || i >= s.total {
+		return
+	}
+	w, b := i/64, uint(i%64)
+	if s.bits[w]&(1<<b) == 0 {
+		s.bits[w] |= 1 << b
+		s.count++
+	}
+}
+
+// Has reports whether index i is in the set.
+func (s *RepSet) Has(i int) bool {
+	if s == nil || i < 0 || i >= s.total {
+		return false
+	}
+	return s.bits[i/64]&(1<<uint(i%64)) != 0
+}
+
+// Count returns the number of completed indices.
+func (s *RepSet) Count() int {
+	if s == nil {
+		return 0
+	}
+	return s.count
+}
+
+// Total returns the universe size the set was built over.
+func (s *RepSet) Total() int {
+	if s == nil {
+		return 0
+	}
+	return s.total
+}
+
 // Run executes total replications of job on the worker pool and returns
 // their results indexed by replication number.
 //
@@ -103,6 +157,21 @@ type panicRecord struct {
 // with the replication index and original stack attached. If ctx is
 // canceled first, Run returns ctx.Err().
 func Run[T any](ctx context.Context, total int, cfg Config, job Job[T]) ([]T, error) {
+	return RunFrom(ctx, total, nil, cfg, job)
+}
+
+// RunFrom is Run with a resume point: indices in done are never
+// re-executed — their slots in the returned slice stay zero values for
+// the caller to fill from its checkpoint — while every missing index
+// runs with exactly the seed a fresh Run would have handed it
+// (stats.SplitSeed(BaseSeed, index)). Collection stays index-ordered,
+// so a sweep that completes across any number of RunFrom resumptions
+// merges to output bit-identical to a single uninterrupted Run at any
+// worker count. OnProgress counts from done.Count(), so (done, total)
+// reflects sweep-level completion, not just this resumption's share.
+//
+// A nil done set makes RunFrom identical to Run.
+func RunFrom[T any](ctx context.Context, total int, done *RepSet, cfg Config, job Job[T]) ([]T, error) {
 	if total <= 0 {
 		return nil, nil
 	}
@@ -117,7 +186,7 @@ func Run[T any](ctx context.Context, total int, cfg Config, job Job[T]) ([]T, er
 	errs := make([]error, total)
 	var (
 		mu       sync.Mutex
-		done     int
+		finished = done.Count()
 		panicked *panicRecord
 		failed   bool
 	)
@@ -155,16 +224,16 @@ func Run[T any](ctx context.Context, total int, cfg Config, job Job[T]) ([]T, er
 		}
 		results[idx] = out
 		mu.Lock()
-		done++
+		finished++
 		if cfg.OnProgress != nil {
-			cfg.OnProgress(done, total)
+			cfg.OnProgress(finished, total)
 		}
 		mu.Unlock()
 	}
 
 	next := make(chan int)
 	var wg sync.WaitGroup
-	workers := cfg.workers(total)
+	workers := cfg.workers(total - done.Count())
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
@@ -176,6 +245,9 @@ func Run[T any](ctx context.Context, total int, cfg Config, job Job[T]) ([]T, er
 	}
 feed:
 	for i := 0; i < total; i++ {
+		if done.Has(i) {
+			continue
+		}
 		select {
 		case next <- i:
 		case <-runCtx.Done():

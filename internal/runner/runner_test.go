@@ -166,6 +166,127 @@ func TestRunEmptyAndCanceledUpfront(t *testing.T) {
 	}
 }
 
+// TestRunFromMergesBitIdentical is the resume contract behind the fleet
+// daemon: a sweep executed as a plain Run and a sweep executed in two
+// RunFrom halves (the first half's results carried over, as a daemon
+// restores them from its WAL) must merge to bit-identical output at any
+// worker count — and the second half must never re-execute a completed
+// index.
+func TestRunFromMergesBitIdentical(t *testing.T) {
+	const total = 97
+	job := func(_ context.Context, rep Rep) (float64, error) {
+		return burn(rep.Seed) + float64(rep.Index), nil
+	}
+	want, err := Run(context.Background(), total, Config{Workers: 5, BaseSeed: 11}, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Checkpoint" an arbitrary completed set — every third index plus a
+	// dense prefix, mimicking a sweep killed mid-flight.
+	done := NewRepSet(total)
+	for i := 0; i < total; i++ {
+		if i < 20 || i%3 == 0 {
+			done.Add(i)
+		}
+	}
+	for _, workers := range []int{1, 4, 16} {
+		var reran atomic.Int64
+		got, err := RunFrom(context.Background(), total, done,
+			Config{Workers: workers, BaseSeed: 11},
+			func(ctx context.Context, rep Rep) (float64, error) {
+				if done.Has(rep.Index) {
+					t.Errorf("completed replication %d re-executed", rep.Index)
+				}
+				if rep.Seed != stats.SplitSeed(11, rep.Index) {
+					t.Errorf("replication %d seed %d, want SplitSeed(11, %d)", rep.Index, rep.Seed, rep.Index)
+				}
+				reran.Add(1)
+				return job(ctx, rep)
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if int(reran.Load()) != total-done.Count() {
+			t.Fatalf("workers=%d: %d replications ran, want %d", workers, reran.Load(), total-done.Count())
+		}
+		// Fill the skipped slots from the checkpoint, as the daemon does.
+		for i := range got {
+			if done.Has(i) {
+				got[i] = want[i]
+			}
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: merged result[%d] = %v, want %v (bit-identical)", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRunFromProgressCountsFromCheckpoint pins the (done, total) progress
+// convention: a resumed sweep reports sweep-level completion, starting
+// above the checkpointed count, ending at total.
+func TestRunFromProgressCountsFromCheckpoint(t *testing.T) {
+	const total = 10
+	done := NewRepSet(total)
+	for _, i := range []int{0, 2, 4} {
+		done.Add(i)
+	}
+	var first, last atomic.Int64
+	first.Store(-1)
+	_, err := RunFrom(context.Background(), total, done,
+		Config{Workers: 2, OnProgress: func(d, tot int) {
+			if tot != total {
+				t.Errorf("progress total = %d, want %d", tot, total)
+			}
+			if first.Load() == -1 {
+				first.Store(int64(d))
+			}
+			last.Store(int64(d))
+		}},
+		func(_ context.Context, rep Rep) (int, error) { return rep.Index, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Load() != int64(done.Count())+1 {
+		t.Fatalf("first progress call reported %d, want %d", first.Load(), done.Count()+1)
+	}
+	if last.Load() != total {
+		t.Fatalf("last progress call reported %d, want %d", last.Load(), total)
+	}
+}
+
+// TestRepSet covers the bitset basics plus the nil-receiver convention
+// RunFrom relies on.
+func TestRepSet(t *testing.T) {
+	s := NewRepSet(130)
+	if s.Count() != 0 || s.Total() != 130 || s.Has(0) {
+		t.Fatal("fresh set not empty")
+	}
+	s.Add(0)
+	s.Add(64)
+	s.Add(129)
+	s.Add(129) // idempotent
+	s.Add(-1)  // ignored
+	s.Add(130) // ignored
+	if s.Count() != 3 {
+		t.Fatalf("count = %d, want 3", s.Count())
+	}
+	for _, i := range []int{0, 64, 129} {
+		if !s.Has(i) {
+			t.Errorf("Has(%d) = false after Add", i)
+		}
+	}
+	if s.Has(1) || s.Has(-1) || s.Has(130) {
+		t.Error("Has reports indices never added")
+	}
+	var nilSet *RepSet
+	if nilSet.Count() != 0 || nilSet.Has(3) || nilSet.Total() != 0 {
+		t.Error("nil RepSet must behave as empty")
+	}
+	nilSet.Add(1) // must not panic
+}
+
 func TestCollectIndexesResults(t *testing.T) {
 	got, err := Collect(context.Background(), 9, Config{Workers: 3},
 		func(_ context.Context, rep Rep) int { return rep.Index * rep.Index })

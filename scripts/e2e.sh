@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # End-to-end smoke: builds every CLI, gives each a tiny run, and asserts
-# exit codes plus output shape. This is the check that the five binaries
+# exit codes plus output shape. This is the check that the six binaries
 # stay wired together — flags parse, JSON envelopes keep their fields,
-# figures actually produce samples — independent of the unit suites.
+# figures actually produce samples, the fleet daemon serves and drains —
+# independent of the unit suites.
 #
 # Usage: scripts/e2e.sh [bin-dir]
 #   bin-dir defaults to a temporary directory that is removed on exit.
@@ -15,7 +16,7 @@ if [[ -z "$bindir" ]]; then
   trap 'rm -rf "$bindir"' EXIT
 fi
 
-clis=(empower-sim empower-testbed empower-scenario empower-route empower-fuzz)
+clis=(empower-sim empower-testbed empower-scenario empower-route empower-fuzz empower-fleet)
 
 echo "== build (${clis[*]})" >&2
 for c in "${clis[@]}"; do
@@ -66,6 +67,46 @@ echo "== empower-fuzz (3 scenarios)" >&2
 if [[ -d "$bindir/fuzz-failures" ]] && [[ -n "$(ls -A "$bindir/fuzz-failures" 2>/dev/null)" ]]; then
   echo "e2e: empower-fuzz wrote reproducers:" >&2
   ls "$bindir/fuzz-failures" >&2
+  exit 1
+fi
+
+echo "== empower-fleet (daemon: submit, poll, results, SIGTERM drain)" >&2
+fleet_port=18080
+"$bindir/empower-fleet" -addr "127.0.0.1:$fleet_port" -wal "$bindir/fleet.wal" -quiet &
+fleet_pid=$!
+fleet_base="http://127.0.0.1:$fleet_port"
+for _ in $(seq 1 100); do
+  curl -sf "$fleet_base/healthz" > /dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -sf "$fleet_base/healthz" > /dev/null || { echo "e2e: empower-fleet never came up" >&2; exit 1; }
+
+curl -sf "$fleet_base/sweeps" -d @examples/sweeps/quickstart.json > "$bindir/fleet-submit.json"
+jq_check "empower-fleet submission" "$bindir/fleet-submit.json" \
+  '.id == "sweep-000001" and .state == "pending" and .total == 15'
+# A typo'd field must come back as a structured 400, not be silently run.
+echo '{"scenario":{"name":"x"},"runz":3}' > "$bindir/fleet-bad.json"
+curl -s "$fleet_base/sweeps" -d @"$bindir/fleet-bad.json" > "$bindir/fleet-reject.json"
+jq_check "empower-fleet structured rejection" "$bindir/fleet-reject.json" \
+  '.error.field == "runz" and .error.reason == "unknown field"'
+
+for _ in $(seq 1 300); do
+  state="$(curl -sf "$fleet_base/sweeps/sweep-000001" | jq -r .state)"
+  [[ "$state" == "done" || "$state" == "failed" ]] && break
+  sleep 0.2
+done
+curl -sf "$fleet_base/sweeps/sweep-000001" > "$bindir/fleet-status.json"
+jq_check "empower-fleet sweep completion" "$bindir/fleet-status.json" \
+  '.state == "done" and .completed == 15'
+curl -sf "$fleet_base/sweeps/sweep-000001/results" > "$bindir/fleet-results.json"
+jq_check "empower-fleet results shape" "$bindir/fleet-results.json" \
+  '.scenario == "plc-flaps" and ([.rows[].scheme] | contains(["EMPoWER", "SP"]))'
+curl -sf "$fleet_base/metrics" | grep -q '^fleet_reps_completed_total 15' \
+  || { echo "e2e: empower-fleet /metrics misses the completed-replication counter" >&2; exit 1; }
+
+kill -TERM "$fleet_pid"
+if ! wait "$fleet_pid"; then
+  echo "e2e: empower-fleet SIGTERM drain exited non-zero" >&2
   exit 1
 fi
 
